@@ -1,0 +1,13 @@
+"""Table 1: the measured RTT matrix must match the paper's values."""
+
+from repro.experiments import table1
+from repro.net.topology import azure_topology
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_rtt_matrix(benchmark):
+    measured = run_once(benchmark, table1.run)
+    topology = azure_topology()
+    for (src, dst), rtt_ms in measured.items():
+        assert abs(rtt_ms - topology.rtt(src, dst)) < 2.0, (src, dst, rtt_ms)

@@ -1,0 +1,90 @@
+"""Loosely synchronized per-node clocks.
+
+Natto assumes clients and servers keep their clocks loosely synchronized
+(e.g. with NTP).  We model each node's clock as::
+
+    clock.now() = sim.now + offset + drift_ppm * 1e-6 * sim.now
+
+with ``offset`` drawn uniformly from ``[-max_offset, +max_offset]`` and a
+small constant frequency drift.  An optional periodic sync step pulls the
+effective offset back inside the bound, emulating an NTP discipline loop.
+
+Domino-style one-way-delay estimation (``server_receive_clock_time -
+client_send_clock_time``) deliberately *includes* the relative clock skew
+between the two nodes, so timestamp decisions made against the server's
+clock remain correct even when clocks disagree — the tests in
+``tests/cluster/test_clock.py`` and ``tests/net/test_probing.py`` pin
+this property down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """Parameters for a node clock.
+
+    Attributes:
+        max_offset: bound (seconds) on the initial offset magnitude.
+        drift_ppm: constant frequency error, parts-per-million.
+        sync_interval: period (seconds) of the NTP-like discipline step;
+            ``0`` disables periodic sync.
+        sync_error: residual offset magnitude (seconds) after a sync step.
+    """
+
+    max_offset: float = 0.001
+    drift_ppm: float = 0.0
+    sync_interval: float = 0.0
+    sync_error: float = 0.0005
+
+
+class Clock:
+    """One node's view of time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ClockConfig = ClockConfig(),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._sim = sim
+        self._config = config
+        self._rng = rng or np.random.default_rng(0)
+        self._offset = float(
+            self._rng.uniform(-config.max_offset, config.max_offset)
+        )
+        self._drift = config.drift_ppm * 1e-6
+        if config.sync_interval > 0:
+            sim.schedule(config.sync_interval, self._sync_step)
+
+    @property
+    def offset(self) -> float:
+        """Current total offset relative to true simulated time."""
+        return self._offset + self._drift * self._sim.now
+
+    def now(self) -> float:
+        """This node's current clock reading (seconds)."""
+        return self._sim.now + self.offset
+
+    def until(self, clock_time: float) -> float:
+        """Simulated-time delay until this clock reads ``clock_time``.
+
+        Never negative: a deadline already in the past maps to 0, so
+        ``sim.schedule(clock.until(t), ...)`` is always legal.
+        """
+        return max(0.0, clock_time - self.now())
+
+    def _sync_step(self) -> None:
+        # NTP discipline: snap the accumulated offset (base + drift so
+        # far) back inside the residual error bound.
+        error = self._config.sync_error
+        self._offset = float(self._rng.uniform(-error, error)) - (
+            self._drift * self._sim.now
+        )
+        self._sim.schedule(self._config.sync_interval, self._sync_step)

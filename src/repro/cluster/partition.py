@@ -1,0 +1,38 @@
+"""Hash partitioning of the key space.
+
+Keys are arbitrary strings; a key belongs to exactly one partition.  We
+hash with crc32 (stable across processes — ``hash()`` is salted) so a
+given key maps to the same partition in every run and every test.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+class Partitioner:
+    """Maps keys to partition ids ``0 .. num_partitions-1``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.num_partitions
+
+    def group_keys(self, keys: Iterable[str]) -> Dict[int, List[str]]:
+        """Split ``keys`` by partition, preserving input order per group."""
+        groups: Dict[int, List[str]] = {}
+        for key in keys:
+            groups.setdefault(self.partition_of(key), []).append(key)
+        return groups
+
+    def participants(self, *key_sets: Sequence[str]) -> Set[int]:
+        """The set of partitions touched by any key in any of the sets."""
+        touched: Set[int] = set()
+        for keys in key_sets:
+            for key in keys:
+                touched.add(self.partition_of(key))
+        return touched

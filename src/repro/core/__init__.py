@@ -1,0 +1,48 @@
+"""Natto: distributed transaction prioritization (the paper's core).
+
+Natto extends Carousel Basic with a timestamp-based global transaction
+order derived from network measurements, and builds four mechanisms on
+top of it (each cumulative variant matches a line in the paper's plots):
+
+==============  ====================================================
+Variant         Mechanisms
+==============  ====================================================
+Natto-TS        timestamp ordering; locking prepare for high priority
+Natto-LECSF     + local early committed state forwarding
+Natto-PA        + priority abort of queued low-priority transactions
+Natto-CP        + conditional prepare past predicted remote aborts
+Natto-RECSF     + remote ECSF (read forwarding to the predecessor's
+                  coordinator)
+==============  ====================================================
+
+Modules:
+
+* :mod:`repro.core.config` — feature flags and the variant factories.
+* :mod:`repro.core.timestamps` — timestamp assignment from the local
+  probe proxy's p95 one-way-delay estimates.
+* :mod:`repro.core.server` — the Natto participant leader (transaction
+  queue, dispatch, PA, CP, ECSF).
+* :mod:`repro.core.coordinator` — coordinator extensions: conditional
+  votes, read-epoch matching, RECSF serving.
+* :mod:`repro.core.system` — the Natto client protocol and wiring.
+"""
+
+from repro.core.config import (
+    NattoConfig,
+    natto_cp,
+    natto_lecsf,
+    natto_pa,
+    natto_recsf,
+    natto_ts,
+)
+from repro.core.system import Natto
+
+__all__ = [
+    "Natto",
+    "NattoConfig",
+    "natto_cp",
+    "natto_lecsf",
+    "natto_pa",
+    "natto_recsf",
+    "natto_ts",
+]

@@ -1,0 +1,144 @@
+"""Natto's 2PC coordinator: conditional votes, read epochs, RECSF.
+
+Extensions over the Carousel coordinator:
+
+* **Vote records** carry an epoch (which read delivery the vote belongs
+  to) and an optional condition (the low-priority transactions whose
+  abort the vote is contingent on).  A transaction commits only when
+  every participant's vote is *firm* and its epoch matches the epoch of
+  the reads the client's write data was computed from — the invariant
+  §3.3.2 states: "it cannot commit the high-priority transaction based
+  on the conditional prepare result if the condition is not satisfied."
+* **Condition resolution**: participants report success (upgrade the
+  conditional vote to firm) or failure (the vote is discarded; a fresh
+  normal-path vote with a higher epoch will follow).
+* **RECSF serving**: participants forward a blocked high-priority
+  transaction's reads of this coordinator's transaction's write keys;
+  once that transaction commits here, the values go straight to the
+  blocked transaction's client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.systems.carousel.coordinator import (
+    CarouselCoordinator,
+    CoordinatedTxn,
+)
+
+
+class NattoCoordinator(CarouselCoordinator):
+    """Per-datacenter coordinator with Natto's vote state machine."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: txn -> queued RECSF forwards awaiting this txn's commit.
+        self._recsf_waiters: Dict[str, List[dict]] = {}
+
+    # ------------------------------------------------------------------
+    # Client messages
+
+    def handle_commit_request(self, payload: dict, src: str) -> None:
+        state = self.txn_state(payload["txn"])
+        state.client = payload["client"]
+        state.participants = payload["participants"]
+        state.writes = payload["writes"]
+        # Natto addition: which read epoch each partition's write data
+        # was computed from; re-sent commit requests overwrite it.
+        state.write_epochs = payload.get("epochs", {})
+        if state.decided is not None:
+            return
+        version = getattr(state, "writes_version", 0) + 1
+        state.writes_version = version
+        state.writes_replicated = False
+        self.propose(("writedata", state.txn, state.writes)).add_done_callback(
+            lambda _: self._writes_version_durable(state, version)
+        )
+
+    def _writes_version_durable(self, state: CoordinatedTxn, version: int) -> None:
+        if getattr(state, "writes_version", 0) == version:
+            state.writes_replicated = True
+            self._try_decide(state)
+
+    # ------------------------------------------------------------------
+    # Votes
+
+    def handle_vote(self, payload: dict, src: str) -> None:
+        state = self.txn_state(payload["txn"])
+        if state.client is None:
+            state.client = payload["client"]
+        if state.participants is None:
+            state.participants = payload["participants"]
+        if state.decided is not None:
+            return
+        if payload["vote"] == "no":
+            self._decide(state, False)
+            return
+        state.votes[payload["partition"]] = {
+            "epoch": payload.get("epoch", 0),
+            "firm": not payload.get("conditional"),
+            "conditional": payload.get("conditional"),
+        }
+        self._try_decide(state)
+
+    def handle_condition_resolved(self, payload: dict, src: str) -> None:
+        state = self.txn_state(payload["txn"])
+        if state.decided is not None:
+            return
+        vote = state.votes.get(payload["partition"])
+        if vote is None or vote["firm"]:
+            return
+        if payload["ok"]:
+            if vote["epoch"] == payload["epoch"]:
+                vote["firm"] = True
+                vote["conditional"] = None
+                self._try_decide(state)
+        else:
+            # Discard the conditional result; the participant's normal
+            # path will vote again with a higher epoch.
+            del state.votes[payload["partition"]]
+
+    def _vote_ready(self, state: CoordinatedTxn, partition: int) -> bool:
+        vote = state.votes.get(partition)
+        if vote is None or not isinstance(vote, dict) or not vote["firm"]:
+            return False
+        expected = getattr(state, "write_epochs", {}).get(partition, 0)
+        return vote["epoch"] == expected
+
+    # ------------------------------------------------------------------
+    # RECSF
+
+    def handle_recsf_forward(self, payload: dict, src: str) -> None:
+        state = self.txns.get(payload["txn"])
+        if state is not None and state.decided is True:
+            self._serve_recsf(state, payload)
+            return
+        if state is not None and state.decided is False:
+            return  # the blocker aborted; the normal path will serve
+        self._recsf_waiters.setdefault(payload["txn"], []).append(payload)
+
+    def _on_decided(self, state: CoordinatedTxn) -> None:
+        waiters = self._recsf_waiters.pop(state.txn, [])
+        if state.decided:
+            for payload in waiters:
+                self._serve_recsf(state, payload)
+
+    def _serve_recsf(self, state: CoordinatedTxn, payload: dict) -> None:
+        writes = state.writes or {}
+        values = {
+            key: writes[key] for key in payload["keys"] if key in writes
+        }
+        if not values:
+            return
+        self._network.send(
+            self,
+            payload["reader_client"],
+            "txn_event",
+            {
+                "txn": payload["reader"],
+                "kind": "recsf_reads",
+                "partition": payload["partition"],
+                "values": values,
+            },
+        )

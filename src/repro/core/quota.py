@@ -1,0 +1,88 @@
+"""Priority quotas for untrusted clients (§3.2's deployment sketch).
+
+The measured system trusts application servers to set priorities
+honestly.  For shared environments the paper sketches an extension:
+clients submit through a trusted proxy that assigns timestamps and
+enforces a quota — "clients can be given a quota of high-priority
+transactions based on their payment plan, and their high-priority
+transaction can be processed as a low-priority transaction if they go
+over their quota."
+
+:class:`PriorityQuota` implements that policy as a per-client token
+bucket: each client earns ``rate`` elevated-priority admissions per
+second up to a burst of ``burst``; an elevated-priority transaction
+that finds the bucket empty is demoted to LOW.  The Natto system
+accepts an optional quota and consults it on every attempt (retries of
+an admitted transaction are not re-charged — the admission decision
+sticks for the transaction's lifetime, so a retry storm cannot consume
+the client's budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.txn.priority import Priority
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    last_refill: float
+
+
+class PriorityQuota:
+    """Token-bucket admission control for elevated priorities."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        """``rate`` tokens/second, up to ``burst`` accumulated."""
+        if rate < 0 or burst <= 0:
+            raise ValueError("rate must be >= 0 and burst positive")
+        self.rate = rate
+        self.burst = burst
+        self._buckets: Dict[str, _Bucket] = {}
+        #: txn_id -> admitted priority (sticky across retries).
+        self._admitted: Dict[str, Priority] = {}
+        self.demotions = 0
+
+    def _bucket(self, client: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = _Bucket(tokens=self.burst, last_refill=now)
+            self._buckets[client] = bucket
+        return bucket
+
+    def _refill(self, bucket: _Bucket, now: float) -> None:
+        elapsed = max(0.0, now - bucket.last_refill)
+        bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+        bucket.last_refill = now
+
+    def authorize(
+        self, client: str, txn_id: str, requested: Priority, now: float
+    ) -> Priority:
+        """The priority this transaction actually runs at."""
+        if requested is Priority.LOW:
+            return requested
+        sticky = self._admitted.get(txn_id)
+        if sticky is not None:
+            return sticky
+        bucket = self._bucket(client, now)
+        self._refill(bucket, now)
+        if bucket.tokens >= 1.0:
+            bucket.tokens -= 1.0
+            granted = requested
+        else:
+            self.demotions += 1
+            granted = Priority.LOW
+        self._admitted[txn_id] = granted
+        return granted
+
+    def finish(self, txn_id: str) -> None:
+        """Forget a completed transaction's sticky admission."""
+        self._admitted.pop(txn_id, None)
+
+    def available_tokens(self, client: str, now: float) -> float:
+        bucket = self._bucket(client, now)
+        self._refill(bucket, now)
+        return bucket.tokens

@@ -1,0 +1,625 @@
+"""The Natto participant leader (§3.2–§3.4).
+
+Life of a transaction at one participant:
+
+1. **Arrival.**  The read-and-prepare request carries the transaction
+   timestamp (arrival at the *furthest* participant), the full read and
+   write key sets, per-participant arrival estimates and the client's
+   dominating one-way-delay estimate.  Late arrivals that would violate
+   timestamp order with an ongoing conflicting transaction abort here.
+   With PA on, arrival may also priority-abort queued low-priority
+   transactions (or the arriving one).
+
+2. **Buffering.**  The transaction waits in the timestamp-ordered queue
+   until the server's clock passes its timestamp and it reaches the
+   queue head.  This buffering is what creates the abort window PA
+   exploits.
+
+3. **Dispatch.**  Low priority: Carousel OCC — conflict with anything
+   prepared (or with an earlier waiting high-priority transaction)
+   aborts; otherwise prepare, serve reads, replicate, vote.  High
+   priority: lock-style — if the keys are free, prepare; otherwise wait
+   in timestamp order.  A blocked high-priority transaction may be
+   **conditionally prepared** (CP) past prepared low-priority blockers
+   predicted to be priority-aborted elsewhere, and may have its reads
+   **forwarded** (RECSF) to the blockers' coordinators.
+
+4. **Outcome.**  Commit with LECSF: the writes become visible and the
+   marks release the moment the commit message arrives (replication to
+   followers continues in the background).  Without LECSF: Carousel's
+   behaviour — replicate first, then apply and release.  Either way,
+   releasing drains the waiting list in timestamp order and resolves
+   any conditions hanging off the transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.partition import Partitioner
+from repro.core.config import NattoConfig
+from repro.net.probing import ProbeTargetMixin
+from repro.raft.node import RaftReplica
+from repro.sim import Future
+from repro.store.kv import KeyValueStore
+from repro.store.occ import PreparedSet, sets_conflict
+from repro.txn.priority import Priority
+
+#: Margin (seconds) added to completion-time estimates used by the PA
+#: skip rule and CP predictions: covers prepare replication + decision
+#: fan-out beyond the pure client<->participant round trip.
+COMPLETION_MARGIN = 0.05
+
+
+@dataclass
+class NattoTxn:
+    """Server-side state of one transaction attempt."""
+
+    txn: str
+    ts: float
+    priority: Priority
+    reads: List[str]           # this partition's slice
+    writes: List[str]          # this partition's slice
+    full_reads: List[str]
+    full_writes: List[str]
+    coordinator: str
+    client: str
+    participants: List[int]
+    arrival_estimates: Dict[int, float]
+    max_owd: float
+    reply: Future
+    state: str = "queued"      # queued|waiting|cond|prepared|done
+    epoch: int = 0
+    condition: Set[str] = field(default_factory=set)
+
+    @property
+    def order(self) -> Tuple[float, str]:
+        return (self.ts, self.txn)
+
+    @property
+    def is_high(self) -> bool:
+        return self.priority is Priority.HIGH
+
+    @property
+    def uses_locking(self) -> bool:
+        """Everything above the lowest level prepares with locks."""
+        return self.priority.uses_locking
+
+    def conflicts_with(self, other: "NattoTxn") -> bool:
+        return sets_conflict(self.reads, self.writes, other.reads, other.writes)
+
+    def estimated_completion_time(self) -> float:
+        """When this transaction should be done, if it executes at its
+        timestamp: one more round trip (results to client, commit back)
+        plus replication margin."""
+        return self.ts + 2.0 * self.max_owd + COMPLETION_MARGIN
+
+
+class NattoParticipant(ProbeTargetMixin, RaftReplica):
+    """Leader (and follower) replica of one Natto data partition."""
+
+    def __init__(
+        self,
+        *args: Any,
+        store: Optional[KeyValueStore] = None,
+        natto_config: NattoConfig = NattoConfig(),
+        partitioner: Optional[Partitioner] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.store = store if store is not None else KeyValueStore()
+        self.natto = natto_config
+        self.partitioner = partitioner
+        self.prepared = PreparedSet()
+        self.txns: Dict[str, NattoTxn] = {}
+        self.queue: List[NattoTxn] = []
+        self.waiting: List[NattoTxn] = []
+        #: blocker txn -> conditioned high-priority txns (CP bookkeeping)
+        self._conditions: Dict[str, Set[str]] = {}
+        #: LECSF: writes applied before their log entry (dedup at apply)
+        self._applied_early: Set[str] = set()
+        # Abort decisions (coordinator path) can beat the transaction's
+        # own read-and-prepare (client path) under jitter; tombstones
+        # make the cancellation order-independent.
+        self._abort_tombstones: Set[str] = set()
+        self._rap_seen: Set[str] = set()
+        self._dispatch_timer = None
+        # Counters (tests, reports, ablations).
+        self.stats = {
+            "prepares": 0,
+            "occ_aborts": 0,
+            "late_aborts": 0,
+            "priority_aborts": 0,
+            "conditional_prepares": 0,
+            "conditions_ok": 0,
+            "conditions_failed": 0,
+            "recsf_forwards": 0,
+        }
+
+    def partition_id(self) -> int:
+        return int(self.name.split("-")[0][1:])
+
+    # ------------------------------------------------------------------
+    # Arrival
+
+    def handle_read_and_prepare(self, payload: dict, src: str) -> Future:
+        if payload["txn"] in self._abort_tombstones:
+            self._abort_tombstones.discard(payload["txn"])
+            reply = Future()
+            reply.set_result({"ok": False})
+            return reply
+        self._rap_seen.add(payload["txn"])
+        pid = self.partition_id()
+        slices = self.partitioner.group_keys
+        info = NattoTxn(
+            txn=payload["txn"],
+            ts=payload["ts"],
+            priority=Priority(payload["priority"]),
+            reads=slices(payload["full_reads"]).get(pid, []),
+            writes=slices(payload["full_writes"]).get(pid, []),
+            full_reads=payload["full_reads"],
+            full_writes=payload["full_writes"],
+            coordinator=payload["coordinator"],
+            client=payload["client"],
+            participants=payload["participants"],
+            arrival_estimates=payload["arrival_estimates"],
+            max_owd=payload["max_owd"],
+            reply=Future(),
+        )
+        if self._late_violation(info):
+            self.stats["late_aborts"] += 1
+            self._refuse(info)
+            return info.reply
+        if self.natto.pa and self._priority_abort_on_arrival(info):
+            return info.reply
+        self.txns[info.txn] = info
+        self._enqueue(info)
+        return info.reply
+
+    def _late_violation(self, info: NattoTxn) -> bool:
+        """§3.2: abort a late arrival only if it breaks timestamp order
+        with a conflicting ongoing transaction."""
+        if self.clock.now() <= info.ts:
+            return False
+        ongoing = list(self.waiting) + [
+            self.txns[t]
+            for t in self.prepared.txn_ids
+            if t in self.txns
+        ]
+        if info.uses_locking:
+            # Conflict with any ongoing (prepared, waiting or queued)
+            # smaller-timestamp transaction forces an abort: the other
+            # servers may already have ordered past us.
+            candidates = ongoing + self.queue
+            return any(
+                other.order < info.order and info.conflicts_with(other)
+                for other in candidates
+            )
+        # Lowest priority (OCC): order is violated if a conflicting
+        # *larger*-timestamp transaction was already dispatched.
+        return any(
+            other.order > info.order and info.conflicts_with(other)
+            for other in ongoing
+        )
+
+    def _refuse(self, info: NattoTxn) -> None:
+        """Abort before (or instead of) preparing: fail the client's
+        read reply and vote no so the coordinator cleans up."""
+        if not info.reply.done:
+            info.reply.set_result({"ok": False})
+        self._network.send(
+            self,
+            info.coordinator,
+            "vote",
+            {
+                "txn": info.txn,
+                "partition": self.partition_id(),
+                "vote": "no",
+                "participants": info.participants,
+                "client": info.client,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Priority abort (§3.3.1)
+
+    def _priority_abort_on_arrival(self, info: NattoTxn) -> bool:
+        """Apply PA rules at arrival, relationally over priority levels.
+        Returns True if *info itself* was aborted (arriving behind a
+        queued strictly-higher-priority transaction)."""
+        # Evict queued strictly-lower-priority conflicts ordered before us.
+        for queued in list(self.queue):
+            if (
+                queued.priority < info.priority
+                and queued.order < info.order
+                and info.conflicts_with(queued)
+                and not self._completes_in_time(queued, info)
+            ):
+                self._priority_abort(queued)
+        # Yield to strictly-higher-priority conflicts ordered after us.
+        for other in self.queue + self.waiting:
+            if (
+                other.priority > info.priority
+                and other.order > info.order
+                and info.conflicts_with(other)
+                and not self._completes_in_time(info, other)
+            ):
+                self.stats["priority_aborts"] += 1
+                self._refuse(info)
+                return True
+        return False
+
+    def _completes_in_time(self, low: NattoTxn, high: NattoTxn) -> bool:
+        """PA's skip rule: don't abort a lower-priority transaction that
+        should complete before the higher-priority execution time.
+        Disabled by the ``pa_skip_rule`` ablation knob."""
+        if not self.natto.pa_skip_rule:
+            return False
+        return high.ts > low.estimated_completion_time()
+
+    def _priority_abort(self, low: NattoTxn) -> None:
+        self.stats["priority_aborts"] += 1
+        self.queue.remove(low)
+        self.txns.pop(low.txn, None)
+        low.state = "done"
+        self._refuse(low)
+
+    # ------------------------------------------------------------------
+    # Queue and dispatch
+
+    def _enqueue(self, info: NattoTxn) -> None:
+        self.queue.append(info)
+        self.queue.sort(key=lambda t: t.order)
+        self._schedule_dispatch()
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_timer is not None:
+            self._dispatch_timer.cancel()
+            self._dispatch_timer = None
+        if not self.queue:
+            return
+        delay = self.clock.until(self.queue[0].ts)
+        self._dispatch_timer = self.sim.schedule(delay, self._dispatch_due)
+
+    def _dispatch_due(self) -> None:
+        self._dispatch_timer = None
+        while self.queue and self.clock.now() >= self.queue[0].ts:
+            self._dispatch(self.queue.pop(0))
+        self._schedule_dispatch()
+
+    def _dispatch(self, info: NattoTxn) -> None:
+        if not info.uses_locking:
+            blocked = not self.prepared.is_free(info.reads, info.writes)
+            blocked = blocked or any(
+                w.state == "waiting" and info.conflicts_with(w)
+                for w in self.waiting
+            )
+            if blocked:
+                self.stats["occ_aborts"] += 1
+                self.txns.pop(info.txn, None)
+                info.state = "done"
+                self._refuse(info)
+                return
+            self._prepare(info)
+            return
+        info.state = "waiting"
+        self.waiting.append(info)
+        self._drain_waiting()
+        if info.state == "waiting":
+            handled_by_cp = False
+            if self.natto.cp:
+                handled_by_cp = self._try_conditional_prepare(info)
+            if self.natto.recsf and not handled_by_cp:
+                self._recsf_forward(info)
+
+    def _drain_waiting(self) -> None:
+        """Prepare waiting high-priority transactions in timestamp order;
+        a still-blocked earlier waiter's keys stay claimed so later
+        waiters cannot jump it."""
+        claimed: List[Tuple[List[str], List[str]]] = []
+        for info in list(self.waiting):
+            if info.state == "cond":
+                continue  # resolved via its condition, not via draining
+            blockers = self.prepared.conflicting(info.reads, info.writes)
+            blockers.discard(info.txn)
+            blocked_by_earlier = any(
+                sets_conflict(info.reads, info.writes, reads, writes)
+                for reads, writes in claimed
+            )
+            if blockers or blocked_by_earlier:
+                claimed.append((info.reads, info.writes))
+                continue
+            self.waiting.remove(info)
+            self._prepare(info)
+
+    # ------------------------------------------------------------------
+    # Prepare paths
+
+    def _prepare(self, info: NattoTxn) -> None:
+        self.stats["prepares"] += 1
+        self.prepared.add(info.txn, info.reads, info.writes)
+        info.state = "prepared"
+        self._deliver_reads(info)
+        self.propose(("prepare", info.txn)).add_done_callback(
+            lambda _: self._vote_yes(info, conditional=None)
+        )
+
+    def _deliver_reads(self, info: NattoTxn) -> None:
+        values = {key: self.store.read(key).value for key in info.reads}
+        body = {"ok": True, "values": values, "epoch": info.epoch}
+        if not info.reply.done:
+            info.reply.set_result(body)
+        else:
+            self._network.send(
+                self,
+                info.client,
+                "txn_event",
+                {
+                    "txn": info.txn,
+                    "kind": "reads",
+                    "partition": self.partition_id(),
+                    "values": values,
+                    "epoch": info.epoch,
+                },
+            )
+
+    def _vote_yes(self, info: NattoTxn, conditional) -> None:
+        self._network.send(
+            self,
+            info.coordinator,
+            "vote",
+            {
+                "txn": info.txn,
+                "partition": self.partition_id(),
+                "vote": "yes",
+                "epoch": info.epoch,
+                "conditional": conditional,
+                "participants": info.participants,
+                "client": info.client,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Conditional prepare (§3.3.2)
+
+    def _try_conditional_prepare(self, info: NattoTxn) -> bool:
+        blockers = self.prepared.conflicting(info.reads, info.writes)
+        blockers.discard(info.txn)
+        if not blockers:
+            return False
+        blocker_infos = []
+        for txn_id in blockers:
+            blocker = self.txns.get(txn_id)
+            if blocker is None or blocker.state != "prepared":
+                return False
+            blocker_infos.append(blocker)
+        if not all(
+            self._predicts_remote_priority_abort(info, blocker)
+            for blocker in blocker_infos
+        ):
+            return False
+        # Also require no earlier waiting transaction in the way: the
+        # conditional values would not match the normal path otherwise.
+        for other in self.waiting:
+            if (
+                other is not info
+                and other.order < info.order
+                and info.conflicts_with(other)
+            ):
+                return False
+        self.stats["conditional_prepares"] += 1
+        self.prepared.add(info.txn, info.reads, info.writes)
+        info.state = "cond"
+        info.condition = {b.txn for b in blocker_infos}
+        for blocker in blocker_infos:
+            self._conditions.setdefault(blocker.txn, set()).add(info.txn)
+        self._deliver_reads(info)
+        self.propose(("cond_prepare", info.txn)).add_done_callback(
+            lambda _: self._vote_yes(info, conditional=sorted(info.condition))
+        )
+        return True
+
+    def _predicts_remote_priority_abort(
+        self, high: NattoTxn, low: NattoTxn
+    ) -> bool:
+        """Would another participant priority-abort ``low`` because of
+        ``high``?  Uses the piggybacked key sets and arrival estimates."""
+        if low.priority >= high.priority or not self.natto.pa:
+            return False
+        if high.order < low.order:
+            return False
+        if self._completes_in_time(low, high):
+            return False  # remote servers apply the same skip rule
+        my_pid = self.partition_id()
+        common = set(high.participants) & set(low.participants) - {my_pid}
+        slices = self.partitioner.group_keys
+        high_reads = slices(high.full_reads)
+        high_writes = slices(high.full_writes)
+        low_reads = slices(low.full_reads)
+        low_writes = slices(low.full_writes)
+        for pid in common:
+            if not sets_conflict(
+                high_reads.get(pid, []),
+                high_writes.get(pid, []),
+                low_reads.get(pid, []),
+                low_writes.get(pid, []),
+            ):
+                continue
+            # high must reach that server while low still sits in its
+            # queue (i.e. before low's execution timestamp).
+            if high.arrival_estimates.get(pid, float("inf")) < low.ts:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # RECSF (§3.4)
+
+    def _recsf_forward(self, info: NattoTxn) -> None:
+        blockers = self.prepared.conflicting(info.reads, info.writes)
+        blockers.discard(info.txn)
+        if not blockers:
+            return
+        blocker_infos = []
+        for txn_id in blockers:
+            blocker = self.txns.get(txn_id)
+            if blocker is None or blocker.state != "prepared":
+                return  # conditional blockers make forwarding unsafe
+            blocker_infos.append(blocker)
+        # An earlier *waiting* transaction will write before this one
+        # prepares, so "base" values read now could be stale — the same
+        # safety condition conditional prepare applies.
+        for other in self.waiting:
+            if (
+                other is not info
+                and other.order < info.order
+                and info.conflicts_with(other)
+            ):
+                return
+        remaining = set(info.reads)
+        forwarded_any = False
+        for blocker in blocker_infos:
+            overlap = remaining & set(blocker.full_writes)
+            if not overlap:
+                continue
+            remaining -= overlap
+            forwarded_any = True
+            self.stats["recsf_forwards"] += 1
+            self._network.send(
+                self,
+                blocker.coordinator,
+                "recsf_forward",
+                {
+                    "txn": blocker.txn,
+                    "reader": info.txn,
+                    "reader_client": info.client,
+                    "partition": self.partition_id(),
+                    "keys": sorted(overlap),
+                },
+            )
+        if not forwarded_any:
+            return
+        # Keys untouched by any blocker are stable until we prepare;
+        # serve them now so the client can assemble the partition early.
+        base_values = {key: self.store.read(key).value for key in remaining}
+        self._network.send(
+            self,
+            info.client,
+            "txn_event",
+            {
+                "txn": info.txn,
+                "kind": "recsf_base",
+                "partition": self.partition_id(),
+                "values": base_values,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome
+
+    def handle_commit_txn(self, payload: dict, src: str) -> None:
+        txn = payload["txn"]
+        if not payload["decision"]:
+            if txn not in self._rap_seen:
+                # The abort overtook the read-and-prepare; refuse it on
+                # arrival instead of leaving a stuck prepared mark.
+                self._abort_tombstones.add(txn)
+            self._resolve_conditions(txn, committed=False)
+            self._remove_everywhere(txn)
+            self._drain_waiting()
+            return
+        writes = payload.get("writes") or {}
+        self._resolve_conditions(txn, committed=True)
+        if self.natto.lecsf:
+            # ECSF: visible and released at commit arrival; replication
+            # to followers continues in the background.
+            self.store.apply_writes(writes, txn)
+            self._applied_early.add(txn)
+            self._release(txn)
+            self.propose(("writes", txn, writes))
+            self._drain_waiting()
+        else:
+            self.propose(("writes", txn, writes)).add_done_callback(
+                lambda _: (self._release(txn), self._drain_waiting())
+            )
+
+    def _release(self, txn: str) -> None:
+        self.prepared.remove(txn)
+        self._rap_seen.discard(txn)
+        info = self.txns.pop(txn, None)
+        if info is not None:
+            info.state = "done"
+
+    def _remove_everywhere(self, txn: str) -> None:
+        """Abort cleanup: the transaction may be queued, waiting,
+        conditionally prepared or prepared."""
+        info = self.txns.pop(txn, None)
+        self.prepared.remove(txn)
+        self._rap_seen.discard(txn)
+        if info is None:
+            return
+        info.state = "done"
+        if info in self.queue:
+            self.queue.remove(info)
+            self._schedule_dispatch()
+        if info in self.waiting:
+            self.waiting.remove(info)
+        for blocker in info.condition:
+            waiters = self._conditions.get(blocker)
+            if waiters is not None:
+                waiters.discard(txn)
+        if not info.reply.done:
+            info.reply.set_result({"ok": False})
+
+    def _resolve_conditions(self, blocker_txn: str, committed: bool) -> None:
+        waiters = self._conditions.pop(blocker_txn, set())
+        for txn_id in waiters:
+            high = self.txns.get(txn_id)
+            if high is None or high.state != "cond":
+                continue
+            if committed:
+                # Condition failed: back to the normal path with a fresh
+                # read epoch.
+                self.stats["conditions_failed"] += 1
+                self.prepared.remove(high.txn)
+                for other in high.condition - {blocker_txn}:
+                    others = self._conditions.get(other)
+                    if others is not None:
+                        others.discard(high.txn)
+                high.condition = set()
+                high.state = "waiting"
+                high.epoch += 1
+                self._notify_condition(high, ok=False)
+            else:
+                high.condition.discard(blocker_txn)
+                if not high.condition:
+                    self.stats["conditions_ok"] += 1
+                    high.state = "prepared"
+                    if high in self.waiting:
+                        self.waiting.remove(high)
+                    self._notify_condition(high, ok=True)
+
+    def _notify_condition(self, info: NattoTxn, ok: bool) -> None:
+        self._network.send(
+            self,
+            info.coordinator,
+            "condition_resolved",
+            {
+                "txn": info.txn,
+                "partition": self.partition_id(),
+                "ok": ok,
+                "epoch": info.epoch if ok else info.epoch - 1,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Replicated state machine
+
+    def on_apply(self, payload: Any, index: int) -> None:
+        if payload[0] != "writes":
+            return  # prepare / cond_prepare records: recovery-only
+        _, txn, writes = payload
+        if txn in self._applied_early:
+            self._applied_early.discard(txn)  # LECSF applied it already
+            return
+        self.store.apply_writes(writes, txn)

@@ -1,0 +1,243 @@
+"""Natto: system wiring and the client protocol.
+
+The client side is where Natto's multi-path read delivery comes
+together.  For one attempt the client may receive, per partition:
+
+* the read-and-prepare RPC reply (normal or conditional prepare);
+* a replacement read delivery after a failed conditional prepare
+  (higher epoch, via a ``reads`` event);
+* an assembled RECSF pair: the participant's ``recsf_base`` values plus
+  the predecessor coordinator's ``recsf_reads`` values.
+
+The client keeps the highest-epoch value set per partition, and
+(re-)sends its write data + commit request whenever it holds a complete
+read set it has not submitted yet, tagging each partition with the read
+epoch the writes were computed from.  The coordinator matches those
+epochs against its vote records, which closes the conditional-prepare
+loop safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.config import NattoConfig
+from repro.core.coordinator import NattoCoordinator
+from repro.core.server import NattoParticipant
+from repro.core.timestamps import TimestampAssigner
+from repro.net.probing import ClientDelayView, ProbeProxy, ProxyDirectory
+from repro.sim import Future, any_of
+from repro.store.kv import KeyValueStore
+from repro.systems.base import Cluster, attempt_id
+from repro.systems.carousel.basic import CarouselBasic
+from repro.txn.priority import Priority
+from repro.txn.transaction import TransactionSpec
+
+
+class Natto(CarouselBasic):
+    """The paper's system.  Pass a :class:`NattoConfig` for the variant."""
+
+    participant_class = NattoParticipant
+    coordinator_class = NattoCoordinator
+
+    def __init__(
+        self,
+        config: NattoConfig = NattoConfig(),
+        quota: Optional["PriorityQuota"] = None,  # noqa: F821
+    ) -> None:
+        self.natto_config = config
+        self.name = config.variant_name
+        self.proxies = ProxyDirectory()
+        #: Optional priority admission control for untrusted clients
+        #: (see :mod:`repro.core.quota`).
+        self.quota = quota
+        self._assigners: Dict[str, TimestampAssigner] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+
+    def _participant_factory(self, sim, network, name, dc, **kwargs):
+        kwargs["rng"] = self.cluster.streams.stream(f"raft.{name}")
+        return self.participant_class(
+            sim,
+            network,
+            name,
+            dc,
+            store=KeyValueStore(),
+            natto_config=self.natto_config,
+            partitioner=self.cluster.partitioner,
+            clock=self.cluster.make_clock(name),
+            service_time=self.cluster.config.server_service_time,
+            **kwargs,
+        )
+
+    def after_setup(self) -> None:
+        """One probe proxy (and client view) per datacenter (§4)."""
+        cluster = self.cluster
+        targets = list(self.leader_names.values())
+        for dc in cluster.topology.datacenters:
+            proxy = ProbeProxy(
+                cluster.sim,
+                cluster.network,
+                dc,
+                targets,
+                interval=cluster.config.probe_interval,
+                window=cluster.config.probe_window,
+            )
+            proxy.clock = cluster.make_clock(proxy.name)
+            view = ClientDelayView(
+                cluster.sim, proxy, cluster.config.client_view_refresh
+            )
+            self.proxies.add(proxy, view)
+        self.proxies.start_all()
+        self._leader_dcs = {
+            pid: group.leader.datacenter for pid, group in self.groups.items()
+        }
+
+    def on_client_created(self, client) -> None:
+        self._assigners[client.name] = TimestampAssigner(
+            self.proxies.view(client.datacenter),
+            self.cluster.topology,
+            client.datacenter,
+            margin=self.natto_config.timestamp_margin,
+        )
+
+    # ------------------------------------------------------------------
+    # Client protocol
+
+    def execute(self, client, spec: TransactionSpec, attempt: int) -> Generator:
+        aid = attempt_id(spec, attempt)
+        priority = spec.priority
+        if self.quota is not None:
+            priority = self.quota.authorize(
+                client.name, spec.txn_id, priority, client.clock.now()
+            )
+        promote_after = self.natto_config.promote_after_aborts
+        if (
+            promote_after is not None
+            and priority is Priority.LOW
+            and attempt >= promote_after
+        ):
+            priority = Priority.HIGH  # starvation mitigation (§3.3.1)
+
+        partitioner = self.cluster.partitioner
+        participants = self.participant_ids(spec)
+        coordinator = self.coordinator_name(client.datacenter)
+        reads_by_pid = partitioner.group_keys(spec.read_keys)
+
+        assignment = self._assigners[client.name].assign(
+            client.clock.now(),
+            participants,
+            self.leader_names,
+            self._leader_dcs,
+        )
+
+        # Per-partition read state: highest-epoch full value set wins.
+        state = {
+            pid: {"epoch": -1, "values": None, "recsf": {}}
+            for pid in participants
+        }
+        sent_epochs: Optional[Dict[int, int]] = None
+        decision = Future()
+        failed = Future()
+        voluntary_abort = [False]
+
+        def deliver(pid: int, values: Dict[str, str], epoch: int) -> None:
+            slot = state[pid]
+            if epoch <= slot["epoch"]:
+                return
+            slot["epoch"] = epoch
+            slot["values"] = values
+            maybe_send_commit()
+
+        def maybe_send_commit() -> None:
+            nonlocal sent_epochs
+            if any(slot["values"] is None for slot in state.values()):
+                return
+            epochs = {pid: slot["epoch"] for pid, slot in state.items()}
+            if epochs == sent_epochs:
+                return
+            sent_epochs = epochs
+            merged: Dict[str, str] = {}
+            for slot in state.values():
+                merged.update(slot["values"])
+            writes = spec.make_writes(merged)
+            if writes is None:
+                voluntary_abort[0] = True
+                client.network.send(
+                    client,
+                    coordinator,
+                    "abort_request",
+                    {
+                        "txn": aid,
+                        "client": client.name,
+                        "participants": participants,
+                    },
+                )
+                return
+            client.network.send(
+                client,
+                coordinator,
+                "commit_request",
+                {
+                    "txn": aid,
+                    "client": client.name,
+                    "participants": participants,
+                    "writes": writes,
+                    "epochs": epochs,
+                },
+            )
+
+        def merge_recsf(pid: int, values: Dict[str, str]) -> None:
+            slot = state[pid]
+            slot["recsf"].update(values)
+            if set(reads_by_pid.get(pid, [])) <= set(slot["recsf"]):
+                deliver(pid, dict(slot["recsf"]), 0)
+
+        def on_event(payload: dict, src: str) -> None:
+            kind = payload["kind"]
+            if kind == "decision":
+                decision.try_set_result(payload["committed"])
+            elif kind == "reads":
+                deliver(payload["partition"], payload["values"], payload["epoch"])
+            elif kind in ("recsf_base", "recsf_reads"):
+                merge_recsf(payload["partition"], payload["values"])
+
+        client.register_attempt(aid, on_event)
+        try:
+            for pid in participants:
+                future = client.network.call(
+                    client,
+                    self.leader_names[pid],
+                    "read_and_prepare",
+                    {
+                        "txn": aid,
+                        "ts": assignment.timestamp,
+                        "priority": int(priority),
+                        "full_reads": list(spec.read_keys),
+                        "full_writes": list(spec.write_keys),
+                        "coordinator": coordinator,
+                        "client": client.name,
+                        "participants": participants,
+                        "arrival_estimates": assignment.arrival_estimates,
+                        "max_owd": assignment.max_owd,
+                    },
+                )
+                future.add_done_callback(
+                    lambda f, pid=pid: (
+                        deliver(pid, f.value["values"], f.value["epoch"])
+                        if f.value.get("ok")
+                        else failed.try_set_result(False)
+                    )
+                )
+            result = yield any_of([decision, failed])
+            if voluntary_abort[0]:
+                if not decision.done:
+                    yield decision
+                result = True
+            committed = bool(result)
+            if committed and self.quota is not None:
+                self.quota.finish(spec.txn_id)
+            return committed
+        finally:
+            client.unregister_attempt(aid)

@@ -1,0 +1,87 @@
+"""Transaction timestamp assignment (§3.2).
+
+A Natto client stamps each transaction with the time it should have
+arrived at **all** participant leaders:
+
+    ts = client_clock.now() + max over participants of OWD_p95(leader)
+
+where the one-way-delay estimates come from the local datacenter's probe
+proxy (p95 over a 1 s sliding window, refreshed by the client every
+100 ms).  The estimates are *skew-inclusive* — they were measured as
+``server_clock_at_receive − proxy_clock_at_send`` — so the resulting
+timestamp is meaningful on the receiving server's clock without any
+extra skew correction (within the client↔proxy skew, which loose NTP
+sync keeps small).
+
+Before the probe window has data (cold start), estimates fall back to
+the topology's base delay with a safety factor; the harness starts
+clients after a probe warm-up anyway, so the fallback only matters for
+unit tests and ad-hoc use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.probing import ClientDelayView
+from repro.net.topology import Topology
+
+#: Cold-start multiplier over the topology's base one-way delay.
+FALLBACK_SAFETY = 1.3
+#: Cold-start additive headroom (seconds): absorbs modest clock skew.
+FALLBACK_HEADROOM = 0.003
+
+
+@dataclass(frozen=True)
+class TimestampAssignment:
+    """Everything a read-and-prepare request carries about timing."""
+
+    timestamp: float                  # the transaction timestamp (clock time)
+    arrival_estimates: Dict[int, float]  # per-participant arrival clock time
+    max_owd: float                    # the dominating one-way delay estimate
+
+
+class TimestampAssigner:
+    """Client-side timestamp computation."""
+
+    def __init__(
+        self,
+        view: ClientDelayView,
+        topology: Topology,
+        client_datacenter: str,
+        margin: float = 0.0,
+    ) -> None:
+        self._view = view
+        self._topology = topology
+        self._client_dc = client_datacenter
+        self._margin = margin
+
+    def estimate_owd(self, leader_name: str, leader_dc: str) -> float:
+        """p95 OWD estimate to a leader, with a cold-start fallback."""
+        estimate = self._view.estimate(leader_name)
+        if estimate is not None:
+            return estimate
+        base = self._topology.one_way(self._client_dc, leader_dc)
+        return base * FALLBACK_SAFETY + FALLBACK_HEADROOM
+
+    def assign(
+        self,
+        now: float,
+        participants: List[int],
+        leader_names: Dict[int, str],
+        leader_dcs: Dict[int, str],
+    ) -> TimestampAssignment:
+        """Timestamp a transaction issued at client clock time ``now``."""
+        estimates = {
+            pid: self.estimate_owd(leader_names[pid], leader_dcs[pid])
+            for pid in participants
+        }
+        max_owd = max(estimates.values())
+        return TimestampAssignment(
+            timestamp=now + max_owd + self._margin,
+            arrival_estimates={
+                pid: now + owd for pid, owd in estimates.items()
+            },
+            max_owd=max_owd,
+        )

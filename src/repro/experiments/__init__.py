@@ -1,0 +1,24 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per exhibit; each exposes ``run(scale=...) -> dict of
+SeriesTable`` and can be invoked from the command line::
+
+    python -m repro.experiments fig7a --scale quick
+    python -m repro.experiments fig11 --scale full
+    python -m repro.experiments all --scale bench
+
+Scales trade fidelity for wall-clock time (the paper's runs are 60 s,
+repeated 10x, which costs hours of host CPU on a simulator):
+
+* ``quick`` — smoke test: short runs, single repetition, sparse grids.
+* ``bench`` — the defaults used by ``benchmarks/``: enough to read the
+  shape (who wins, by what factor, where crossovers fall).
+* ``full``  — the paper's durations, repetitions, and full grids.
+
+The mapping from exhibits to modules lives in DESIGN.md; measured-vs-
+paper numbers live in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import SCALES, Scale
+
+__all__ = ["SCALES", "Scale"]

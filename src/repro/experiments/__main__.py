@@ -1,0 +1,87 @@
+"""Command-line entry point for the experiment suite.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig7a --scale quick
+    python -m repro.experiments fig7a --systems "Natto-RECSF" "Carousel Basic"
+    python -m repro.experiments all --scale bench
+    python -m repro.experiments fig11 --scale full   # paper-scale (slow!)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    table1,
+)
+
+EXHIBITS: Dict[str, Callable] = {
+    "ablations": lambda scale, systems: ablations.run(scale),
+    "table1": lambda scale, systems: table1.run(scale),
+    "fig7a": lambda scale, systems: figure7.run_ycsbt(scale, systems),
+    "fig7c": lambda scale, systems: figure7.run_retwis(scale, systems),
+    "fig7e": lambda scale, systems: figure7.run_smallbank(scale, systems),
+    "fig8a": lambda scale, systems: figure8.run_ycsbt(scale, systems),
+    "fig8b": lambda scale, systems: figure8.run_retwis(scale, systems),
+    "fig9": lambda scale, systems: figure9.run(scale, systems),
+    "fig10": lambda scale, systems: figure10.run(scale, systems),
+    "fig11": lambda scale, systems: figure11.run(scale, systems),
+    "fig12": lambda scale, systems: figure12.run(scale, systems),
+    "fig13": lambda scale, systems: figure13.run(scale, systems),
+    "fig14": lambda scale, systems: figure14.run(scale, systems),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(EXHIBITS) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "bench", "full"),
+        default="bench",
+        help="run length/repetitions preset (default: bench)",
+    )
+    parser.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        help="restrict to a subset of systems (paper labels)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        started = time.time()
+        print(f"\n##### {name} (scale={args.scale}) #####")
+        result = EXHIBITS[name](args.scale, args.systems)
+        if isinstance(result, dict):
+            for value in result.values():
+                if hasattr(value, "print"):
+                    value.print()
+        print(f"##### {name} done in {time.time() - started:.0f}s #####")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

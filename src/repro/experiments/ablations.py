@@ -1,0 +1,148 @@
+"""Ablations of Natto's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three load-bearing choices that the paper sweeps
+only implicitly; each gets an explicit ablation here:
+
+* **Timestamp margin** — headroom added to the p95 delay estimate.
+  Too little: requests arrive after their own timestamps and abort
+  (under contention); too much: every transaction waits longer than
+  necessary.  Sweep 0 / 2 ms (default) / 20 ms.
+* **PA skip rule** — §3.3.1's completion-time estimate that spares a
+  low-priority transaction about to finish anyway.  Off = always
+  abort: high-priority latency improves marginally, low-priority abort
+  rates climb.
+* **Probe cadence** — how fresh the delay estimates are (probe
+  interval x window).  Sparse probing degrades estimate quality, which
+  shows up as late-arrival aborts once delays jitter.
+
+Run: ``python -m repro.experiments ablations [--scale quick]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import Natto
+from repro.core.config import natto_recsf
+from repro.experiments.common import resolve_scale
+from repro.harness.experiment import ExperimentSettings, run_repeated
+from repro.harness.report import SeriesTable
+from repro.txn.priority import Priority
+from repro.workloads import YcsbTWorkload
+
+INPUT_RATE = 250
+
+
+def _run(config, settings, scale, seed=0):
+    return run_repeated(
+        lambda: Natto(config),
+        lambda rng: YcsbTWorkload(rng),
+        float(INPUT_RATE),
+        scale.apply(settings).scaled(seed=seed),
+        repeats=scale.repeats,
+    )
+
+
+def run_timestamp_margin(
+    scale="bench",
+    margins_ms: Sequence[float] = (0.0, 2.0, 20.0),
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Margin sweep under mild jitter (where under-prediction bites)."""
+    scale = resolve_scale(scale)
+    tables = {
+        "high": SeriesTable(
+            "Ablation: timestamp margin — 95P high-priority latency "
+            f"(YCSB+T @{INPUT_RATE} txn/s, 2% delay jitter)",
+            "margin (ms)",
+            margins_ms,
+        ),
+    }
+    settings = ExperimentSettings(
+        system_config=ExperimentSettings().system_config.with_overrides(
+            delay_variance_cv=0.02
+        )
+    )
+    for margin in margins_ms:
+        result = _run(
+            natto_recsf(timestamp_margin=margin / 1000.0),
+            settings,
+            scale,
+            seed,
+        )
+        tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
+    return tables
+
+
+def run_pa_skip_rule(
+    scale="bench", seed: int = 0
+) -> Dict[str, SeriesTable]:
+    """The completion-time skip rule on vs off."""
+    scale = resolve_scale(scale)
+    variants = ("skip rule on", "skip rule off")
+    tables = {
+        "high": SeriesTable(
+            "Ablation: PA skip rule — 95P high-priority latency",
+            "variant",
+            variants,
+        ),
+        "low": SeriesTable(
+            "Ablation: PA skip rule — 95P low-priority latency",
+            "variant",
+            variants,
+        ),
+    }
+    for label, flag in (("skip rule on", True), ("skip rule off", False)):
+        result = _run(
+            natto_recsf(pa_skip_rule=flag),
+            ExperimentSettings(),
+            scale,
+            seed,
+        )
+        tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
+        tables["low"].add_point("Natto-RECSF", *result.p95_low_ms())
+    return tables
+
+
+def run_probe_cadence(
+    scale="bench",
+    intervals_ms: Sequence[float] = (10.0, 100.0, 500.0),
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Probe interval sweep under jitter (estimate freshness)."""
+    scale = resolve_scale(scale)
+    tables = {
+        "high": SeriesTable(
+            "Ablation: probe interval — 95P high-priority latency "
+            "(15% delay variance)",
+            "probe interval (ms)",
+            intervals_ms,
+        ),
+    }
+    for interval in intervals_ms:
+        settings = ExperimentSettings(
+            system_config=ExperimentSettings().system_config.with_overrides(
+                delay_variance_cv=0.15,
+                probe_interval=interval / 1000.0,
+            )
+        )
+        result = _run(natto_recsf(), settings, scale, seed)
+        tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
+    return tables
+
+
+def run(scale="bench", **kwargs) -> Dict[str, SeriesTable]:
+    tables = {}
+    for prefix, runner in (
+        ("margin", run_timestamp_margin),
+        ("skip_rule", run_pa_skip_rule),
+        ("probes", run_probe_cadence),
+    ):
+        for key, table in runner(scale).items():
+            tables[f"{prefix}.{key}"] = table
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

@@ -1,0 +1,122 @@
+"""Shared machinery for the figure modules: scales and the sweep loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.experiment import (
+    ExperimentSettings,
+    RepeatedResult,
+    run_repeated,
+)
+from repro.harness.report import SeriesTable
+from repro.harness.systems import make_system
+from repro.txn.priority import Priority
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How long and how often to run each point."""
+
+    name: str
+    duration: float
+    trim: float
+    repeats: int
+    drain: float
+
+    def apply(self, settings: ExperimentSettings) -> ExperimentSettings:
+        return settings.scaled(
+            duration=self.duration, trim=self.trim, drain=self.drain
+        )
+
+
+SCALES: Dict[str, Scale] = {
+    "quick": Scale("quick", duration=4.0, trim=1.0, repeats=1, drain=6.0),
+    "bench": Scale("bench", duration=6.0, trim=1.5, repeats=1, drain=10.0),
+    "full": Scale("full", duration=60.0, trim=10.0, repeats=10, drain=30.0),
+}
+
+
+def resolve_scale(scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    return SCALES[scale]
+
+
+def sweep(
+    systems: Sequence[str],
+    x_values: Sequence,
+    run_point: Callable[[str, object], RepeatedResult],
+    tables: Dict[str, SeriesTable],
+    extract: Dict[str, Callable[[RepeatedResult], tuple]],
+    progress: Optional[Callable[[str], None]] = print,
+) -> None:
+    """Fill ``tables`` by sweeping every system over ``x_values``.
+
+    ``extract`` maps a table key to a function producing ``(value,
+    error)`` from a :class:`RepeatedResult`; each key must exist in
+    ``tables``.
+    """
+    for system_name in systems:
+        for x in x_values:
+            result = run_point(system_name, x)
+            for key, fn in extract.items():
+                value, error = fn(result)
+                tables[key].add_point(system_name, value, error)
+            if progress is not None:
+                progress(
+                    f"[{system_name} @ {x}] "
+                    + " ".join(
+                        f"{key}={tables[key].series[system_name][-1]:.1f}"
+                        for key in extract
+                    )
+                )
+
+
+def latency_point_runner(
+    workload_factory_for: Callable[[object], Callable],
+    rate_for: Callable[[object], float],
+    settings_for: Callable[[object], ExperimentSettings],
+    repeats: int,
+    seed: int = 0,
+) -> Callable[[str, object], RepeatedResult]:
+    """Build the standard ``run_point`` used by most figures."""
+
+    def run_point(system_name: str, x) -> RepeatedResult:
+        return run_repeated(
+            lambda: make_system(system_name),
+            workload_factory_for(x),
+            rate_for(x),
+            settings_for(x).scaled(seed=seed),
+            repeats=repeats,
+        )
+
+    return run_point
+
+
+def high_low_tables(
+    title: str, x_label: str, x_values: Sequence
+) -> Dict[str, SeriesTable]:
+    """The common pair of tables: high-pri p95 and low-pri p95 (+goodput)."""
+    return {
+        "high": SeriesTable(
+            f"{title} — 95P latency, high-priority", x_label, x_values
+        ),
+        "low": SeriesTable(
+            f"{title} — 95P latency, low-priority", x_label, x_values
+        ),
+        "low_goodput": SeriesTable(
+            f"{title} — committed low-priority txn/s",
+            x_label,
+            x_values,
+            unit="txn/s",
+        ),
+    }
+
+
+STANDARD_EXTRACT = {
+    "high": lambda r: r.p95_high_ms(),
+    "low": lambda r: r.p95_low_ms(),
+    "low_goodput": lambda r: r.goodput(Priority.LOW),
+}

@@ -1,0 +1,84 @@
+"""Figure 10: SmallBank with sendPayment as the only high-priority type.
+
+The paper plots the *increase ratio* of high-priority 95P latency at
+each input rate relative to the latency at 100 txn/s.  At 6000 txn/s
+the 2PL systems exceed a 200% increase while Natto-RECSF stays below
+50% — prioritization holding up as total load grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.workloads import SmallBankWorkload
+
+SYSTEMS = ("2PL+2PC", "2PL+2PC(P)", "2PL+2PC(POW)", "Natto-RECSF")
+RATES = (100, 1500, 3500, 6000)
+BASELINE_RATE = 100
+
+
+def run(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    rates: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    rates = tuple(rates or RATES)
+    if rates[0] != BASELINE_RATE:
+        rates = (BASELINE_RATE,) + tuple(rates)
+    tables = {
+        "high": SeriesTable(
+            "Figure 10 — 95P latency, sendPayment=high (SmallBank)",
+            "input rate (txn/s)",
+            rates,
+        ),
+        "increase": SeriesTable(
+            "Figure 10 — 95P latency increase vs 100 txn/s",
+            "input rate (txn/s)",
+            rates,
+            unit="%",
+        ),
+    }
+    run_point = latency_point_runner(
+        workload_factory_for=lambda rate: (
+            lambda rng: SmallBankWorkload(
+                rng, high_priority_types={"send_payment"}
+            )
+        ),
+        rate_for=lambda rate: float(rate),
+        settings_for=lambda rate: scale.apply(ExperimentSettings()),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+
+    def extract_high(result):
+        return result.p95_ms(priority=None, txn_type="send_payment")
+
+    sweep(
+        systems or SYSTEMS,
+        rates,
+        run_point,
+        tables,
+        {"high": extract_high},
+    )
+    # Derive the increase-ratio series from the absolute latencies.
+    for name, values in tables["high"].series.items():
+        baseline = values[0]
+        for value in values:
+            tables["increase"].add_point(
+                name, 100.0 * (value - baseline) / baseline
+            )
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

@@ -1,0 +1,72 @@
+"""Figure 12: impact of network packet loss.
+
+YCSB+T at 100 txn/s with per-segment loss from 0 to 3%.  Loss acts two
+ways (see :mod:`repro.net.loss`): retransmission latency on every
+message, and a Mathis-bound bandwidth collapse that saturates the
+systems pushing the most bytes first — Carousel Basic replicates
+transactional data twice, so it and Natto-TS hit the wall around 1.5%,
+Carousel Fast (full-replica fan-out) even earlier, while Natto-RECSF
+survives to ~2.5% because commits leave the critical path sooner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.harness.systems import AZURE_SYSTEMS
+from repro.net.loss import LossConfig
+from repro.workloads import YcsbTWorkload
+
+LOSS_RATES = (0.0, 1.0, 2.0, 3.0)  # percent
+INPUT_RATE = 100
+
+
+def run(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    loss_rates: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    loss_rates = tuple(loss_rates or LOSS_RATES)
+    tables = {
+        "high": SeriesTable(
+            "Figure 12 — 95P latency, high-priority vs packet loss "
+            "(YCSB+T @100 txn/s)",
+            "packet loss (%)",
+            loss_rates,
+        )
+    }
+    run_point = latency_point_runner(
+        workload_factory_for=lambda loss: (lambda rng: YcsbTWorkload(rng)),
+        rate_for=lambda loss: float(INPUT_RATE),
+        settings_for=lambda loss: scale.apply(
+            ExperimentSettings(
+                system_config=ExperimentSettings().system_config.with_overrides(
+                    loss=LossConfig(loss_rate=loss / 100.0)
+                )
+            )
+        ),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+    sweep(
+        systems or AZURE_SYSTEMS,
+        loss_rates,
+        run_point,
+        tables,
+        {"high": lambda r: r.p95_high_ms()},
+    )
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

@@ -1,0 +1,70 @@
+"""Figure 13: hybrid cloud (AWS + Azure).
+
+Retwis at 1000 txn/s with VA/WA replaced by AWS us-east/us-west; the
+cross-provider links carry higher jitter (the property the experiment
+probes — Natto's measurements must cope with a less uniform network).
+A bar chart in the paper; a one-row table here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.harness.systems import AZURE_SYSTEMS
+from repro.net.topology import hybrid_cloud_topology
+from repro.workloads import RetwisWorkload
+
+INPUT_RATE = 1000
+#: Baseline jitter (std/mean) on same-provider links; cross-provider
+#: links are scaled up by the topology's jitter multiplier.
+BASE_JITTER_CV = 0.01
+
+
+def run(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    tables = {
+        "high": SeriesTable(
+            "Figure 13 — 95P latency, high-priority, hybrid AWS+Azure "
+            "(Retwis @1000 txn/s)",
+            "deployment",
+            ("hybrid",),
+        )
+    }
+    run_point = latency_point_runner(
+        workload_factory_for=lambda _: (lambda rng: RetwisWorkload(rng)),
+        rate_for=lambda _: float(INPUT_RATE),
+        settings_for=lambda _: scale.apply(
+            ExperimentSettings(
+                topology_factory=hybrid_cloud_topology,
+                system_config=ExperimentSettings().system_config.with_overrides(
+                    delay_variance_cv=BASE_JITTER_CV
+                ),
+            )
+        ),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+    sweep(
+        systems or AZURE_SYSTEMS,
+        ("hybrid",),
+        run_point,
+        tables,
+        {"high": lambda r: r.p95_high_ms()},
+    )
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

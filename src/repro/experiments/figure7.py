@@ -1,0 +1,121 @@
+"""Figure 7: impact of transaction input rate (all six sub-figures).
+
+* (a)/(b) — YCSB+T on the emulated-WAN cluster, all eleven systems,
+  input rates 50-350 txn/s.
+* (c)/(d) — Retwis on the Azure deployment, eight systems, 100-1500.
+* (e)/(f) — SmallBank on Azure, eight systems, 500-2000.
+
+The (b)/(d)/(f) sub-figures plot low-priority 95P latency against
+committed goodput; we report both series against input rate, which
+carries the same information as the paper's parametric plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    SCALES,
+    STANDARD_EXTRACT,
+    high_low_tables,
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.harness.systems import ALL_SYSTEMS, AZURE_SYSTEMS
+from repro.workloads import RetwisWorkload, SmallBankWorkload, YcsbTWorkload
+
+RATES_YCSBT = (50, 150, 250, 350)
+RATES_RETWIS = (100, 500, 1000, 1500)
+RATES_SMALLBANK = (500, 1000, 1500, 2000)
+
+
+def _run_variant(
+    title: str,
+    systems: Sequence[str],
+    rates: Sequence[int],
+    workload_factory_for,
+    scale,
+    seed: int,
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    tables = high_low_tables(title, "input rate (txn/s)", rates)
+    run_point = latency_point_runner(
+        workload_factory_for=workload_factory_for,
+        rate_for=lambda rate: float(rate),
+        settings_for=lambda rate: scale.apply(ExperimentSettings()),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+    sweep(systems, rates, run_point, tables, STANDARD_EXTRACT)
+    return tables
+
+
+def run_ycsbt(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    rates: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Figure 7 (a) and (b)."""
+    return _run_variant(
+        "Figure 7(a/b) YCSB+T",
+        systems or ALL_SYSTEMS,
+        rates or RATES_YCSBT,
+        lambda rate: (lambda rng: YcsbTWorkload(rng)),
+        scale,
+        seed,
+    )
+
+
+def run_retwis(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    rates: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Figure 7 (c) and (d)."""
+    return _run_variant(
+        "Figure 7(c/d) Retwis",
+        systems or AZURE_SYSTEMS,
+        rates or RATES_RETWIS,
+        lambda rate: (lambda rng: RetwisWorkload(rng)),
+        scale,
+        seed,
+    )
+
+
+def run_smallbank(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    rates: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Figure 7 (e) and (f)."""
+    return _run_variant(
+        "Figure 7(e/f) SmallBank",
+        systems or AZURE_SYSTEMS,
+        rates or RATES_SMALLBANK,
+        lambda rate: (lambda rng: SmallBankWorkload(rng)),
+        scale,
+        seed,
+    )
+
+
+def run(scale="bench", **kwargs) -> Dict[str, SeriesTable]:
+    tables = {}
+    for prefix, runner in (
+        ("ycsbt", run_ycsbt),
+        ("retwis", run_retwis),
+        ("smallbank", run_smallbank),
+    ):
+        for key, table in runner(scale, **kwargs).items():
+            tables[f"{prefix}.{key}"] = table
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

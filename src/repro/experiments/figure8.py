@@ -1,0 +1,88 @@
+"""Figure 8: performance under high contention (Zipf coefficient sweep).
+
+* (a) — YCSB+T, all systems, Zipf 0.65-0.95 at 50 txn/s.
+* (b) — Retwis, the Azure line-up, Zipf 0.65-0.95 at 100 txn/s.
+
+Raising the Zipfian coefficient concentrates accesses on a handful of
+keys; OCC systems (Carousel, TAPIR) retry their way to order-of-
+magnitude latency increases while Natto's timestamp order and priority
+mechanisms keep the high-priority tail bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    STANDARD_EXTRACT,
+    high_low_tables,
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.harness.systems import ALL_SYSTEMS, AZURE_SYSTEMS
+from repro.workloads import RetwisWorkload, YcsbTWorkload
+
+ZIPF_COEFFICIENTS = (0.65, 0.75, 0.85, 0.95)
+
+
+def _run_variant(
+    title, systems, workload_class, rate, scale, seed, zipfs=None
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    zipfs = tuple(zipfs or ZIPF_COEFFICIENTS)
+    tables = high_low_tables(title, "zipf coefficient", zipfs)
+    run_point = latency_point_runner(
+        workload_factory_for=lambda theta: (
+            lambda rng: workload_class(rng, zipf_theta=theta)
+        ),
+        rate_for=lambda theta: float(rate),
+        settings_for=lambda theta: scale.apply(ExperimentSettings()),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+    sweep(systems, zipfs, run_point, tables, STANDARD_EXTRACT)
+    return tables
+
+
+def run_ycsbt(scale="bench", systems=None, seed=0, zipfs=None
+              ) -> Dict[str, SeriesTable]:
+    """Figure 8(a): YCSB+T at 50 txn/s."""
+    return _run_variant(
+        "Figure 8(a) YCSB+T @50 txn/s",
+        systems or ALL_SYSTEMS,
+        YcsbTWorkload,
+        50,
+        scale,
+        seed,
+        zipfs,
+    )
+
+
+def run_retwis(scale="bench", systems=None, seed=0, zipfs=None
+               ) -> Dict[str, SeriesTable]:
+    """Figure 8(b): Retwis at 100 txn/s."""
+    return _run_variant(
+        "Figure 8(b) Retwis @100 txn/s",
+        systems or AZURE_SYSTEMS,
+        RetwisWorkload,
+        100,
+        scale,
+        seed,
+        zipfs,
+    )
+
+
+def run(scale="bench", **kwargs) -> Dict[str, SeriesTable]:
+    tables = {}
+    for prefix, runner in (("ycsbt", run_ycsbt), ("retwis", run_retwis)):
+        for key, table in runner(scale, **kwargs).items():
+            tables[f"{prefix}.{key}"] = table
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

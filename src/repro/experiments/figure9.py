@@ -1,0 +1,64 @@
+"""Figure 9: impact of the high-priority transaction percentage.
+
+YCSB+T at 350 txn/s, sweeping the share of high-priority transactions
+from 10% to 100%.  The paper shows only the prioritizing systems
+(2PL+2PC and its P/POW variants, plus Natto-RECSF): plain 2PL is flat,
+(P)/(POW) converge up to it as fewer low-priority victims exist, and
+Natto stays low until high-priority transactions dominate the mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    latency_point_runner,
+    resolve_scale,
+    sweep,
+)
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.report import SeriesTable
+from repro.workloads import YcsbTWorkload
+
+SYSTEMS = ("2PL+2PC", "2PL+2PC(P)", "2PL+2PC(POW)", "Natto-RECSF")
+PERCENTAGES = (10, 40, 60, 80, 100)
+INPUT_RATE = 350
+
+
+def run(
+    scale="bench",
+    systems: Optional[Sequence[str]] = None,
+    percentages: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    scale = resolve_scale(scale)
+    percentages = tuple(percentages or PERCENTAGES)
+    tables = {
+        "high": SeriesTable(
+            "Figure 9 — 95P latency, high-priority (YCSB+T @350 txn/s)",
+            "high-priority %",
+            percentages,
+        )
+    }
+    run_point = latency_point_runner(
+        workload_factory_for=lambda pct: (
+            lambda rng: YcsbTWorkload(rng, high_priority_fraction=pct / 100.0)
+        ),
+        rate_for=lambda pct: float(INPUT_RATE),
+        settings_for=lambda pct: scale.apply(ExperimentSettings()),
+        repeats=scale.repeats,
+        seed=seed,
+    )
+    sweep(
+        systems or SYSTEMS,
+        percentages,
+        run_point,
+        tables,
+        {"high": lambda r: r.p95_high_ms()},
+    )
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run().values():
+        table.print()

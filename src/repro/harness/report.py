@@ -1,0 +1,76 @@
+"""Plain-text series tables shaped like the paper's figures.
+
+Every benchmark prints one of these: the x-axis the paper sweeps, one
+column per system, cells in the figure's units.  EXPERIMENTS.md pastes
+these tables next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_ms(value: float) -> str:
+    """Format a millisecond value the way the paper quotes them."""
+    if value != value:  # NaN
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+@dataclass
+class SeriesTable:
+    """An x-sweep with one series per system."""
+
+    title: str
+    x_label: str
+    x_values: Sequence
+    unit: str = "ms"
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    errors: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_point(
+        self, name: str, value: float, error: Optional[float] = None
+    ) -> None:
+        self.series.setdefault(name, []).append(value)
+        if error is not None:
+            self.errors.setdefault(name, []).append(error)
+
+    def value(self, name: str, x) -> float:
+        return self.series[name][list(self.x_values).index(x)]
+
+    def render(self) -> str:
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows = [header]
+        for i, x in enumerate(self.x_values):
+            row = [str(x)]
+            for name in names:
+                points = self.series[name]
+                if i < len(points):
+                    cell = format_ms(points[i])
+                    errs = self.errors.get(name)
+                    if errs and i < len(errs) and not math.isnan(errs[i]):
+                        cell += f"±{format_ms(errs[i])}"
+                else:
+                    cell = "-"
+                row.append(cell)
+            rows.append(row)
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(header))
+        ]
+        lines = [f"== {self.title} ({self.unit}) =="]
+        for r, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row))
+            )
+            if r == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - mirrors the common API shape
+        print()
+        print(self.render())

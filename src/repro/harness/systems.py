@@ -1,0 +1,68 @@
+"""Registry of the systems the paper compares.
+
+Keys are the labels used in the paper's figures; every experiment
+module addresses systems through :func:`make_system` so benches and
+examples agree on naming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core import (
+    Natto,
+    natto_cp,
+    natto_lecsf,
+    natto_pa,
+    natto_recsf,
+    natto_ts,
+)
+from repro.systems.base import TransactionSystem
+from repro.systems.carousel import CarouselBasic, CarouselFast
+from repro.systems.tapir import Tapir
+from repro.systems.twopl import (
+    PreemptOnWaitPolicy,
+    PreemptPolicy,
+    TwoPL,
+    WoundWaitPolicy,
+)
+
+SYSTEM_FACTORIES: Dict[str, Callable[[], TransactionSystem]] = {
+    "2PL+2PC": lambda: TwoPL(WoundWaitPolicy()),
+    "2PL+2PC(P)": lambda: TwoPL(PreemptPolicy()),
+    "2PL+2PC(POW)": lambda: TwoPL(PreemptOnWaitPolicy()),
+    "TAPIR": Tapir,
+    "Carousel Basic": CarouselBasic,
+    "Carousel Fast": CarouselFast,
+    "Natto-TS": lambda: Natto(natto_ts()),
+    "Natto-LECSF": lambda: Natto(natto_lecsf()),
+    "Natto-PA": lambda: Natto(natto_pa()),
+    "Natto-CP": lambda: Natto(natto_cp()),
+    "Natto-RECSF": lambda: Natto(natto_recsf()),
+}
+
+#: The full line-up of Figure 7(a)/(b) and Figure 8(a).
+ALL_SYSTEMS = tuple(SYSTEM_FACTORIES)
+
+#: The reduced line-up the paper uses for the Azure figures (7c-f, 8b).
+AZURE_SYSTEMS = (
+    "2PL+2PC",
+    "2PL+2PC(P)",
+    "2PL+2PC(POW)",
+    "TAPIR",
+    "Carousel Basic",
+    "Carousel Fast",
+    "Natto-TS",
+    "Natto-RECSF",
+)
+
+
+def make_system(name: str) -> TransactionSystem:
+    """A fresh instance of the named system."""
+    try:
+        factory = SYSTEM_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; known: {sorted(SYSTEM_FACTORIES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,245 @@
+"""Message delivery between simulated nodes.
+
+The network knows every node by name and, for each ordered datacenter
+pair, keeps a FIFO bandwidth pipe.  Sending a message costs:
+
+``transmission (pipe queueing + size/bandwidth)  +  propagation (delay
+model sample)  +  retransmission penalty (loss model)``
+
+and delivery additionally waits for the destination node's CPU (its
+:class:`~repro.cluster.node.ServiceModel`).  Intra-datacenter messages
+skip the bandwidth pipe (they do not cross the WAN link).
+
+Two primitives:
+
+* :meth:`Network.send` — one-way message; dispatched to
+  ``handle_<method>`` if the destination defines it, else to
+  ``handle_message``.
+* :meth:`Network.call` — request/response RPC returning a
+  :class:`~repro.sim.Future`.  The handler may return a plain value
+  (respond now) or a Future (respond when it resolves).
+
+Handlers receive ``(payload, src_name)`` and are looked up as
+``handle_<method>`` on the destination node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.net.delay import ConstantDelay, DelayModel
+from repro.net.loss import LossConfig, LossModel
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim import Future, Simulator
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network-wide knobs.
+
+    Attributes:
+        loss: packet-loss configuration (rate 0 disables both the
+            retransmission penalty and the Mathis bandwidth cap).
+        model_bandwidth: when False, messages never queue on pipes even
+            if a loss config is present — used by unit tests that want
+            pure propagation delays.
+    """
+
+    loss: LossConfig = LossConfig()
+    model_bandwidth: bool = True
+
+
+class _Pipe:
+    """FIFO transmission queue for one ordered datacenter pair."""
+
+    __slots__ = ("bandwidth", "_busy_until")
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self._busy_until = 0.0
+
+    def transmit(self, now: float, size_bytes: int) -> float:
+        """Queue ``size_bytes``; return the delay until fully on the wire."""
+        if self.bandwidth == float("inf"):
+            return 0.0
+        start = max(now, self._busy_until)
+        self._busy_until = start + size_bytes / self.bandwidth
+        return self._busy_until - now
+
+
+class Network:
+    """The simulated WAN connecting all nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        delay_model: Optional[DelayModel] = None,
+        config: NetworkConfig = NetworkConfig(),
+        loss_rng: Any = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.delay_model = delay_model or ConstantDelay(topology)
+        self.config = config
+        self._nodes: Dict[str, Node] = {}
+        self._pipes: Dict[Tuple[str, str], _Pipe] = {}
+        self._pending_calls: Dict[int, Future] = {}
+        # TCP/gRPC semantics: per (src, dst) node pair, messages are
+        # delivered in send order — a later message never overtakes an
+        # earlier one, though it can be delayed behind it.
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        # Fault injection: a predicate (src_name, dst_name) -> bool;
+        # True drops the message.  Used to partition nodes in tests.
+        self._drop_filter = None
+        self.messages_dropped = 0
+        self._loss = None
+        if config.loss.loss_rate > 0.0:
+            if loss_rng is None:
+                raise ValueError("a loss RNG is required when loss_rate > 0")
+            self._loss = LossModel(config.loss, loss_rng)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(self, node: Node) -> Node:
+        """Add a node; its ``name`` becomes its network address."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Primitives
+
+    def send(self, src: Node, dst_name: str, method: str, payload: dict) -> None:
+        """Fire-and-forget message."""
+        message = Message(method, payload, src.name, dst_name)
+        self._dispatch(message)
+
+    def call(self, src: Node, dst_name: str, method: str, payload: dict) -> Future:
+        """Request/response RPC; resolves with the handler's response."""
+        message = Message(method, payload, src.name, dst_name)
+        future = Future()
+        self._pending_calls[message.msg_id] = future
+        self._dispatch(message)
+        return future
+
+    # ------------------------------------------------------------------
+    # Delivery machinery
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def set_drop_filter(self, predicate) -> None:
+        """Drop every message for which ``predicate(src, dst)`` is True.
+
+        Pass ``None`` to heal.  Messages already in flight still arrive
+        (the fault cuts the wire, it does not vaporize packets mid-air
+        — close enough to a real partition for protocol testing).
+        """
+        self._drop_filter = predicate
+
+    def partition(self, group_a, group_b) -> None:
+        """Convenience: drop all traffic between two sets of node names."""
+        group_a, group_b = set(group_a), set(group_b)
+
+        def predicate(src: str, dst: str) -> bool:
+            return (src in group_a and dst in group_b) or (
+                src in group_b and dst in group_a
+            )
+
+        self.set_drop_filter(predicate)
+
+    def heal(self) -> None:
+        self.set_drop_filter(None)
+
+    def _dispatch(self, message: Message) -> None:
+        if self._drop_filter is not None and self._drop_filter(
+            message.src, message.dst
+        ):
+            self.messages_dropped += 1
+            return
+        src = self._nodes[message.src]
+        dst = self._nodes[message.dst]
+        self.messages_sent += 1
+        self.bytes_sent += message.wire_size
+        delay = self._delivery_delay(src, dst, message)
+        pair = (message.src, message.dst)
+        arrival = max(
+            self.sim.now + delay, self._last_arrival.get(pair, 0.0)
+        )
+        self._last_arrival[pair] = arrival
+        self.sim.schedule_at(arrival, lambda: self._arrive(message, dst))
+
+    def _delivery_delay(self, src: Node, dst: Node, message: Message) -> float:
+        delay = self.delay_model.sample(src.datacenter, dst.datacenter)
+        if self._loss is not None:
+            delay += self._loss.retransmission_delay()
+        if (
+            self.config.model_bandwidth
+            and src.datacenter != dst.datacenter
+            and self.config.loss.link_capacity_bytes_per_s != float("inf")
+        ):
+            pipe = self._pipe(src.datacenter, dst.datacenter)
+            delay += pipe.transmit(self.sim.now, message.wire_size)
+        return delay
+
+    def _pipe(self, src_dc: str, dst_dc: str) -> _Pipe:
+        key = (src_dc, dst_dc)
+        pipe = self._pipes.get(key)
+        if pipe is None:
+            rtt = self.topology.rtt(src_dc, dst_dc) / 1000.0
+            bandwidth = self.config.loss.effective_bandwidth(rtt)
+            pipe = _Pipe(bandwidth)
+            self._pipes[key] = pipe
+        return pipe
+
+    def _arrive(self, message: Message, dst: Node) -> None:
+        cpu_delay = dst.service.admission_delay(dst.service_time_for(message))
+        if cpu_delay > 0:
+            self.sim.schedule(cpu_delay, lambda: self._handle(message, dst))
+        else:
+            self._handle(message, dst)
+
+    def _handle(self, message: Message, dst: Node) -> None:
+        if message.reply_to is not None:
+            future = self._pending_calls.pop(message.reply_to, None)
+            if future is not None and not future.done:
+                future.set_result(message.payload.get("result"))
+            return
+        handler = getattr(dst, f"handle_{message.method}", None)
+        if handler is None:
+            dst.handle_message(message)
+            return
+        result = handler(message.payload, message.src)
+        # A message expects a reply iff it was created by call(); the
+        # pending map is the source of truth (send() never registers).
+        if message.msg_id in self._pending_calls:
+            self._respond(message, dst, result)
+
+    def _respond(self, message: Message, dst: Node, result: Any) -> None:
+        if isinstance(result, Future):
+            result.add_done_callback(
+                lambda f: self._send_reply(message, dst, f.value)
+            )
+        else:
+            self._send_reply(message, dst, result)
+
+    def _send_reply(self, request: Message, dst: Node, result: Any) -> None:
+        reply = Message(
+            method=f"{request.method}.reply",
+            payload={"result": result},
+            src=dst.name,
+            dst=request.src,
+            reply_to=request.msg_id,
+        )
+        self._dispatch(reply)

@@ -1,0 +1,31 @@
+"""Raft replication (Ongaro & Ousterhout) for partition replica groups.
+
+Natto/Carousel replicate each data partition with Raft; every latency
+figure in the paper includes at least one "replicate to a majority"
+round, so the cost structure here matters:
+
+* the leader appends to its log and broadcasts ``AppendEntries``;
+* followers ack; the entry commits when a majority (leader included)
+  has it — i.e. one round trip to the **nearest majority** of followers;
+* committed entries are applied in log order on every replica.
+
+:class:`ReplicationGroup` is the facade the transaction systems use:
+``group.replicate(payload) -> Future`` resolves when the entry commits
+at the leader.  Full leader election (randomized timeouts, RequestVote,
+term safety) is implemented and tested, but the paper's experiments run
+failure-free with pre-designated leaders ("our prototypes do not
+implement fault recovery"), so the harness disables election timers.
+"""
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.node import RaftConfig, RaftReplica, Role
+from repro.raft.group import ReplicationGroup
+
+__all__ = [
+    "LogEntry",
+    "RaftConfig",
+    "RaftLog",
+    "RaftReplica",
+    "ReplicationGroup",
+    "Role",
+]

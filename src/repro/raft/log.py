@@ -1,0 +1,99 @@
+"""The replicated log.
+
+Indexes are 1-based, as in the Raft paper; index 0 is the empty-log
+sentinel with term 0.  The log enforces the Log Matching property
+locally: entries are only appended after a successful
+``(prev_index, prev_term)`` consistency check, and a conflicting suffix
+is truncated before new entries are written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One log slot: the term it was created in and an opaque payload."""
+
+    term: int
+    payload: Any
+
+
+class RaftLog:
+    """An in-memory Raft log."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: int) -> Optional[int]:
+        """Term of the entry at ``index`` (0 for the sentinel), or None."""
+        if index == 0:
+            return 0
+        if 1 <= index <= len(self._entries):
+            return self._entries[index - 1].term
+        return None
+
+    def entry_at(self, index: int) -> LogEntry:
+        return self._entries[index - 1]
+
+    def append(self, entry: LogEntry) -> int:
+        """Leader-side append; returns the new entry's index."""
+        self._entries.append(entry)
+        return len(self._entries)
+
+    def entries_from(self, index: int) -> List[LogEntry]:
+        """Entries at ``index`` and beyond (for AppendEntries payloads)."""
+        return self._entries[index - 1:]
+
+    def matches(self, prev_index: int, prev_term: int) -> bool:
+        """The AppendEntries consistency check."""
+        return self.term_at(prev_index) == prev_term
+
+    def append_from_leader(
+        self, prev_index: int, prev_term: int, entries: List[LogEntry]
+    ) -> bool:
+        """Follower-side append after the consistency check.
+
+        Truncates any conflicting suffix (same index, different term)
+        before writing, per Raft's conflict rule.  Returns False if the
+        consistency check fails.
+        """
+        if not self.matches(prev_index, prev_term):
+            return False
+        for offset, entry in enumerate(entries):
+            index = prev_index + 1 + offset
+            existing_term = self.term_at(index)
+            if existing_term is None:
+                self._entries.append(entry)
+            elif existing_term != entry.term:
+                del self._entries[index - 1:]
+                self._entries.append(entry)
+            # else: duplicate of an entry we already have; keep it.
+        return True
+
+    def up_to_date(self, other_last_index: int, other_last_term: int) -> bool:
+        """Is (other_last_index, other_last_term) at least as fresh as us?
+
+        Used by the voting rule: grant votes only to candidates whose
+        log is at least as up-to-date.
+        """
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index
+
+    def snapshot(self) -> Tuple[LogEntry, ...]:
+        """Immutable copy, for tests and invariant checks."""
+        return tuple(self._entries)

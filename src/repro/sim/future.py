@@ -1,0 +1,152 @@
+"""One-shot result containers used for asynchronous completion.
+
+A :class:`Future` is resolved at most once, either with a value
+(:meth:`Future.set_result`) or an exception (:meth:`Future.set_exception`).
+Callbacks registered with :meth:`Future.add_done_callback` fire
+synchronously at resolution time, in registration order.
+
+Futures are the currency between the callback world (message handlers)
+and the coroutine world (:class:`repro.sim.process.Process` generators can
+``yield`` a future to suspend until it resolves).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+
+class FutureError(Exception):
+    """Raised on misuse of a future (double-resolve, unset result)."""
+
+
+class Future:
+    """A single-assignment, observable result.
+
+    Unlike asyncio futures there is no event loop affinity; resolution
+    runs callbacks immediately on the resolver's stack, which keeps the
+    simulation deterministic (no hidden scheduling points).
+    """
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has been resolved (value or exception)."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The resolved value; raises if unresolved or resolved to an error."""
+        if not self._done:
+            raise FutureError("future is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The resolved exception, or ``None``."""
+        if not self._done:
+            raise FutureError("future is not resolved yet")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        """Resolve with ``value`` and run callbacks."""
+        if self._done:
+            raise FutureError("future already resolved")
+        self._done = True
+        self._value = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve with an exception and run callbacks."""
+        if self._done:
+            raise FutureError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._run_callbacks()
+
+    def try_set_result(self, value: Any = None) -> bool:
+        """Resolve if still pending; return whether this call resolved it.
+
+        Useful when several racing paths (e.g. LECSF vs RECSF reads) may
+        each try to deliver the same logical result.
+        """
+        if self._done:
+            return False
+        self.set_result(value)
+        return True
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` at resolution; immediately if already done."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._done:
+            state = "pending"
+        elif self._exception is not None:
+            state = f"error={self._exception!r}"
+        else:
+            state = f"value={self._value!r}"
+        return f"<Future {state}>"
+
+
+def all_of(futures: Iterable[Future]) -> Future:
+    """A future resolving with the list of values once every input resolves.
+
+    Resolution order does not matter; values are returned in input order.
+    If any input resolves with an exception, the combined future resolves
+    with the first such exception.
+    """
+    futures = list(futures)
+    combined = Future()
+    if not futures:
+        combined.set_result([])
+        return combined
+    remaining = [len(futures)]
+
+    def _on_done(_: Future) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0 and not combined.done:
+            try:
+                combined.set_result([f.value for f in futures])
+            except BaseException as exc:  # noqa: BLE001 - propagate into future
+                combined.set_exception(exc)
+
+    for future in futures:
+        future.add_done_callback(_on_done)
+    return combined
+
+
+def any_of(futures: Iterable[Future]) -> Future:
+    """A future resolving with the value of the first input to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise ValueError("any_of requires at least one future")
+    combined = Future()
+
+    def _on_done(done: Future) -> None:
+        if combined.done:
+            return
+        if done.exception is not None:
+            combined.set_exception(done.exception)
+        else:
+            combined.set_result(done.value)
+
+    for future in futures:
+        future.add_done_callback(_on_done)
+    return combined

@@ -1,0 +1,135 @@
+"""The discrete-event simulator: an event heap and a clock.
+
+Design notes
+------------
+* Events are ``(deadline, sequence, callback)`` triples in a binary heap.
+  The monotonically increasing sequence number makes ordering of
+  same-deadline events deterministic (FIFO in scheduling order), which in
+  turn makes every experiment bit-reproducible for a fixed seed.
+* Cancellation is lazy: a cancelled :class:`Timer` stays in the heap and
+  is skipped when popped.  This keeps ``schedule`` and ``cancel`` O(log n)
+  and O(1) respectively.
+* Time is a float in **seconds**.  All delay models and protocol
+  parameters use seconds; reporting code converts to milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.future import Future
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("deadline", "_callback", "_cancelled")
+
+    def __init__(self, deadline: float, callback: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self._cancelled = True
+        self._callback = _noop
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        self._callback()
+
+
+def _noop() -> None:
+    return None
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print(sim.now))
+        sim.run()            # run until the event heap drains
+        sim.run(until=60.0)  # or until simulated time passes 60 s
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: List[Any] = []
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s into the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})"
+            )
+        timer = Timer(when, callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, timer))
+        return timer
+
+    def timeout(self, delay: float) -> Future:
+        """A future that resolves (with ``None``) after ``delay`` seconds."""
+        future = Future()
+        self.schedule(delay, future.set_result)
+        return future
+
+    def spawn(self, generator: Generator) -> "Process":
+        """Start a coroutine process; see :class:`repro.sim.process.Process`."""
+        # Imported here to avoid a module cycle (process imports kernel types).
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def stop(self) -> None:
+        """Make the current ``run`` call return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in deadline order.
+
+        With ``until``, the loop stops once the next event would be later
+        than ``until`` and advances the clock exactly to ``until`` (so
+        periodic activities observe a consistent end time).  Without it,
+        the loop drains the heap.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            deadline, _, timer = self._heap[0]
+            if until is not None and deadline > until:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = deadline
+            timer._fire()
+        if until is not None and self._now < until:
+            self._now = until

@@ -1,0 +1,74 @@
+"""Generator-based coroutines driven by the simulator.
+
+A process is a Python generator that yields *suspension points*:
+
+* ``yield 0.25`` — sleep for 0.25 simulated seconds (ints work too);
+* ``yield future`` — suspend until the :class:`~repro.sim.future.Future`
+  resolves; the ``yield`` expression evaluates to its value;
+* ``yield other_process`` — processes are futures, so joining a child is
+  just yielding it.
+
+The process itself is a :class:`~repro.sim.future.Future` whose value is
+the generator's return value, so sequential protocol logic (clients,
+coordinators) reads top-to-bottom while servers stay callback-driven.
+
+Exceptions raised by an awaited future are thrown *into* the generator at
+the yield point, so protocol code can use ordinary ``try/except``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.future import Future
+
+
+class Process(Future):
+    """A running coroutine.  Create via :meth:`repro.sim.Simulator.spawn`."""
+
+    __slots__ = ("_sim", "_generator")
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:  # noqa: F821
+        super().__init__()
+        self._sim = sim
+        self._generator = generator
+        # Start on a fresh event so spawn() returns before the first step
+        # runs; this avoids re-entrancy surprises when a process resolves
+        # futures its spawner is also watching.
+        sim.schedule(0.0, lambda: self._step(None, None))
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        try:
+            if exc is not None:
+                yielded = self._generator.throw(exc)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            if not self.done:
+                self.set_result(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate into future
+            if not self.done:
+                self.set_exception(error)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Future):
+            yielded.add_done_callback(self._resume_from_future)
+        elif isinstance(yielded, (int, float)):
+            self._sim.schedule(float(yielded), lambda: self._step(None, None))
+        else:
+            self._step(
+                None,
+                TypeError(
+                    f"process yielded {yielded!r}; expected a delay "
+                    "(int/float) or a Future"
+                ),
+            )
+
+    def _resume_from_future(self, future: Future) -> None:
+        if future.exception is not None:
+            self._step(None, future.exception)
+        else:
+            self._step(future.value, None)

@@ -1,0 +1,26 @@
+"""Storage substrate: versioned key-value store and concurrency control
+primitives shared by the transaction systems.
+
+* :mod:`repro.store.kv` — in-memory versioned KV store (the paper's data
+  set is 1M 64-byte key / 64-byte value pairs; values here are created
+  lazily from a default factory so the store stays sparse).
+* :mod:`repro.store.occ` — the "prepared set" used by Carousel-style OCC
+  read-and-prepare: conflict detection between fixed read/write key sets.
+* :mod:`repro.store.locks` — a shared/exclusive lock table with wait
+  queues and wound-wait / priority-preemption hooks, used by the
+  Spanner-like 2PL+2PC baseline.
+"""
+
+from repro.store.kv import KeyValueStore, VersionedValue
+from repro.store.locks import LockMode, LockRequest, LockTable
+from repro.store.occ import PreparedSet, sets_conflict
+
+__all__ = [
+    "KeyValueStore",
+    "LockMode",
+    "LockRequest",
+    "LockTable",
+    "PreparedSet",
+    "VersionedValue",
+    "sets_conflict",
+]

@@ -1,0 +1,26 @@
+"""Transaction processing systems.
+
+The baselines the paper evaluates against, all built on the same
+substrates (:mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.raft`,
+:mod:`repro.store`):
+
+* :mod:`repro.systems.carousel` — Carousel Basic and Carousel Fast.
+* :mod:`repro.systems.tapir` — TAPIR over inconsistent replication.
+* :mod:`repro.systems.twopl` — the Spanner-like 2PL+2PC system, with
+  wound-wait and the (P) / (POW) prioritization variants.
+
+Natto itself lives in :mod:`repro.core` (it is the paper's primary
+contribution), but it plugs into the same
+:class:`~repro.systems.base.TransactionSystem` interface, so the harness
+treats all six systems uniformly.
+"""
+
+from repro.systems.base import Cluster, SystemConfig, TransactionSystem
+from repro.systems.client import ClientDriver
+
+__all__ = [
+    "ClientDriver",
+    "Cluster",
+    "SystemConfig",
+    "TransactionSystem",
+]

@@ -1,0 +1,157 @@
+"""Shared deployment scaffolding and the system interface.
+
+A :class:`Cluster` owns everything protocol-independent about a
+deployment: the simulator, random streams, topology, the network with
+its delay/loss models, the partitioner and the replica placements.  A
+:class:`TransactionSystem` then populates it with protocol-specific
+server nodes in :meth:`TransactionSystem.setup` and executes client
+transactions via :meth:`TransactionSystem.execute`.
+
+The default :class:`SystemConfig` mirrors the paper's settings: 5
+partitions, 3 replicas, loosely synchronized clocks, Raft without
+elections (failure-free runs), and a small per-message server CPU cost
+that produces realistic saturation behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.clock import Clock, ClockConfig
+from repro.cluster.partition import Partitioner
+from repro.cluster.placement import PartitionPlacement, place_partitions
+from repro.net.delay import make_delay_model
+from repro.net.loss import LossConfig
+from repro.net.network import Network, NetworkConfig
+from repro.net.topology import Topology
+from repro.raft.node import RaftConfig
+from repro.sim import RandomStreams, Simulator
+from repro.txn.transaction import TransactionSpec
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment-level knobs shared by every system."""
+
+    num_partitions: int = 5
+    replication_factor: int = 3
+    clock: ClockConfig = field(
+        default_factory=lambda: ClockConfig(
+            max_offset=0.001, sync_interval=1.0, sync_error=0.0005
+        )
+    )
+    raft: RaftConfig = field(
+        default_factory=lambda: RaftConfig(
+            heartbeat_interval=0.05, election_timeout=None
+        )
+    )
+    #: Per-message CPU cost on servers (calibrated against Figure 14).
+    server_service_time: float = 100e-6
+    #: Network delay variance (std/mean) — the Figure 11 knob.
+    delay_variance_cv: float = 0.0
+    #: Packet loss — the Figure 12 knob.
+    loss: LossConfig = field(default_factory=LossConfig)
+    #: Natto probe settings (harmless for systems that don't probe).
+    probe_interval: float = 0.010
+    probe_window: float = 1.0
+    client_view_refresh: float = 0.1
+
+    def with_overrides(self, **kwargs: Any) -> "SystemConfig":
+        return replace(self, **kwargs)
+
+
+class Cluster:
+    """One deployment's protocol-independent state."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SystemConfig = SystemConfig(),
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.streams = RandomStreams(seed)
+        self.sim = Simulator()
+        delay_model = make_delay_model(
+            topology, self.streams.stream("net.delay"), config.delay_variance_cv
+        )
+        self.network = Network(
+            self.sim,
+            topology,
+            delay_model=delay_model,
+            config=NetworkConfig(loss=config.loss),
+            loss_rng=(
+                self.streams.stream("net.loss")
+                if config.loss.loss_rate > 0
+                else None
+            ),
+        )
+        self.partitioner = Partitioner(config.num_partitions)
+        self.placements: List[PartitionPlacement] = place_partitions(
+            topology.datacenters,
+            config.num_partitions,
+            config.replication_factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers for systems
+
+    def make_clock(self, name: str) -> Clock:
+        """A fresh, loosely synchronized clock for node ``name``."""
+        return Clock(
+            self.sim, self.config.clock, self.streams.stream(f"clock.{name}")
+        )
+
+    def coordinator_placement(self, datacenter: str) -> PartitionPlacement:
+        """Replica placement for the per-datacenter coordinator group.
+
+        The coordinator leader is co-located with the datacenter's
+        clients; its followers sit in the next datacenters (the same
+        round-robin rule as data partitions), giving the coordinator's
+        write-data replication a realistic majority round trip.
+        """
+        dcs = list(self.topology.datacenters)
+        start = dcs.index(datacenter)
+        chosen = tuple(
+            dcs[(start + j) % len(dcs)]
+            for j in range(self.config.replication_factor)
+        )
+        # Partition ids >= num_partitions are reserved for coordinators.
+        return PartitionPlacement(1000 + start, chosen)
+
+
+class TransactionSystem(abc.ABC):
+    """Interface every system (baselines and Natto) implements."""
+
+    #: Display name used by the harness and in benchmark output.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def setup(self, cluster: Cluster) -> None:
+        """Create and register all server-side nodes on the cluster."""
+
+    @abc.abstractmethod
+    def execute(
+        self, client: "ClientDriver", spec: TransactionSpec, attempt: int
+    ) -> Generator:
+        """One transaction attempt, as a process generator.
+
+        Yields simulator suspension points; returns True iff the attempt
+        committed (False means abort — the client driver retries).
+        """
+
+    def on_client_created(self, client: "ClientDriver") -> None:
+        """Hook for systems that attach per-client state (e.g. Natto's
+        delay view).  Default: nothing."""
+
+
+def attempt_id(spec: TransactionSpec, attempt: int) -> str:
+    """Protocol-level id for one attempt of one logical transaction.
+
+    Every retry gets a fresh id so server-side state (prepared sets,
+    lock tables, queues) never confuses two attempts.
+    """
+    return f"{spec.txn_id}.{attempt}"

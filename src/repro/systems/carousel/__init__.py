@@ -1,0 +1,27 @@
+"""Carousel (Yan et al., SIGMOD 2018): the system Natto builds on.
+
+* :mod:`repro.systems.carousel.server` — the participant leader:
+  read-and-prepare with OCC over the pre-declared 2FI key sets, prepare
+  replication, commit/abort handling.
+* :mod:`repro.systems.carousel.coordinator` — the per-datacenter 2PC
+  coordinator (itself the leader of a replica group); replicates write
+  data, collects votes, decides, and fans out commit messages.
+* :mod:`repro.systems.carousel.basic` — Carousel Basic (Figure 1 of the
+  Natto paper): transaction processing overlapped with 2PC and
+  replication, two WAN round trips on the happy path.
+* :mod:`repro.systems.carousel.fast` — Carousel Fast: read-and-prepare
+  fanned out to every replica; unanimous replica votes commit on a fast
+  path that skips the prepare-replication leg.
+"""
+
+from repro.systems.carousel.basic import CarouselBasic
+from repro.systems.carousel.coordinator import CarouselCoordinator
+from repro.systems.carousel.fast import CarouselFast
+from repro.systems.carousel.server import CarouselParticipant
+
+__all__ = [
+    "CarouselBasic",
+    "CarouselCoordinator",
+    "CarouselFast",
+    "CarouselParticipant",
+]

@@ -1,0 +1,220 @@
+"""Carousel Fast: read-and-prepare fanned out to every replica.
+
+Fast path: the client sends read-and-prepare to **all** replicas of each
+participant partition.  If every replica of every partition votes yes,
+the prepare is already durable on every replica, so the coordinator can
+commit as soon as the write data is replicated — skipping the
+prepare-replication + vote leg of Carousel Basic.
+
+Fallback: on mixed votes, the leader's vote decides (leaders always run
+the full Basic behaviour — prepare, replicate, vote — so no extra round
+is needed); if any leader refuses, the attempt aborts and retries.
+
+Why Fast degrades under contention (the effect the paper leans on):
+follower replicas hold their prepared marks until the committed writes
+*apply* on them — one replication leg later than the leader releases —
+so at high contention followers refuse transactions the leader would
+accept, pushing the system off the fast path and up the abort rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from repro.sim import Future, all_of
+from repro.systems.base import attempt_id
+from repro.systems.carousel.basic import CarouselBasic
+from repro.systems.carousel.coordinator import CarouselCoordinator, CoordinatedTxn
+from repro.systems.carousel.server import CarouselParticipant
+from repro.txn.transaction import TransactionSpec
+
+
+class FastParticipant(CarouselParticipant):
+    """Adds the replica-side (follower) fast-path vote.
+
+    Abort notifications and read-and-prepare requests travel different
+    network paths, so an abort can overtake the request it cancels
+    (e.g. when the partition leader is co-located with the client the
+    no-vote detour is shorter than a jittery direct hop).  Tombstones
+    make the cancellation order-independent: a request arriving after
+    its own abort is refused instead of leaving a stuck prepared mark.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._fast_tombstones: set = set()
+        self._replica_seen: set = set()
+
+    def handle_read_and_prepare_replica(self, payload: dict, src: str) -> dict:
+        """Follower vote: OCC over the follower's own (lagging) state."""
+        txn = payload["txn"]
+        if txn in self._fast_tombstones:
+            self._fast_tombstones.discard(txn)
+            return {"ok": False}
+        self._replica_seen.add(txn)
+        reads = payload["reads"]
+        writes = payload["writes"]
+        if not self.prepared.is_free(reads, writes):
+            self.prepares_refused += 1
+            return {"ok": False}
+        self.prepares_ok += 1
+        self.prepared.add(txn, reads, writes)
+        values = {key: self.store.read(key).value for key in reads}
+        return {"ok": True, "values": values}
+
+    def handle_fast_outcome(self, payload: dict, src: str) -> None:
+        """Abort notification for follower-held prepared marks."""
+        if payload["decision"]:
+            return
+        txn = payload["txn"]
+        if txn in self.prepared:
+            self.release(txn)
+        elif txn not in self._replica_seen:
+            # The abort overtook the request; refuse it on arrival.
+            self._fast_tombstones.add(txn)
+        self._replica_seen.discard(txn)
+
+    def on_apply(self, payload: Any, index: int) -> None:
+        super().on_apply(payload, index)
+        if payload[0] == "writes":
+            # A committed transaction's follower-side prepared marks are
+            # held until its writes apply here (the staleness window).
+            self.release(payload[1])
+            self._replica_seen.discard(payload[1])
+
+
+class FastCoordinator(CarouselCoordinator):
+    """Also clears follower prepared marks on abort."""
+
+    def __init__(self, *args: Any,
+                 replica_names: Dict[int, List[str]] = None, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.replica_names = replica_names or {}
+
+    def _decide(self, state: CoordinatedTxn, committed: bool) -> None:
+        super()._decide(state, committed)
+        if committed:
+            return  # followers release when the writes entry applies
+        for pid in state.participants or []:
+            leader = self.leader_names[pid]
+            for replica in self.replica_names.get(pid, []):
+                if replica != leader:
+                    self._network.send(
+                        self,
+                        replica,
+                        "fast_outcome",
+                        {"txn": state.txn, "decision": False},
+                    )
+
+
+class CarouselFast(CarouselBasic):
+    """Carousel's fast protocol."""
+
+    name = "Carousel Fast"
+    participant_class = FastParticipant
+    coordinator_class = FastCoordinator
+
+    def _coordinator_factory(self, sim, network, name, dc, **kwargs):
+        kwargs["rng"] = self.cluster.streams.stream(f"raft.{name}")
+        return self.coordinator_class(
+            sim,
+            network,
+            name,
+            dc,
+            partitioner=self.cluster.partitioner,
+            leader_names=self.leader_names,
+            replica_names={
+                pid: group.replica_names for pid, group in self.groups.items()
+            },
+            clock=self.cluster.make_clock(name),
+            service_time=self.cluster.config.server_service_time,
+            **kwargs,
+        )
+
+    def execute(self, client, spec: TransactionSpec, attempt: int) -> Generator:
+        aid = attempt_id(spec, attempt)
+        participants = self.participant_ids(spec)
+        coordinator = self.coordinator_name(client.datacenter)
+        reads_by_pid = self.cluster.partitioner.group_keys(spec.read_keys)
+        writes_by_pid = self.cluster.partitioner.group_keys(spec.write_keys)
+
+        decision = Future()
+        client.register_attempt(
+            aid,
+            lambda payload, src: (
+                decision.try_set_result(payload["committed"])
+                if payload["kind"] == "decision"
+                else None
+            ),
+        )
+        try:
+            calls = []
+            call_meta = []  # (partition, is_leader)
+            for pid in participants:
+                body = {
+                    "txn": aid,
+                    "reads": reads_by_pid.get(pid, []),
+                    "writes": writes_by_pid.get(pid, []),
+                    "coordinator": coordinator,
+                    "client": client.name,
+                    "participants": participants,
+                }
+                group = self.groups[pid]
+                for replica in group.replica_names:
+                    is_leader = replica == group.leader_name
+                    method = (
+                        "read_and_prepare"
+                        if is_leader
+                        else "read_and_prepare_replica"
+                    )
+                    calls.append(
+                        client.network.call(client, replica, method, dict(body))
+                    )
+                    call_meta.append((pid, is_leader))
+            replies = yield all_of(calls)
+
+            leader_ok = {}
+            leader_values: Dict[str, str] = {}
+            unanimous = True
+            for (pid, is_leader), reply in zip(call_meta, replies):
+                if not reply["ok"]:
+                    unanimous = False
+                if is_leader:
+                    leader_ok[pid] = reply["ok"]
+                    if reply["ok"]:
+                        leader_values.update(reply["values"])
+            if not all(leader_ok.values()):
+                # A leader refused: abort (its no-vote triggers cleanup);
+                # follower marks are cleared by the coordinator's
+                # fast_outcome fan-out when it decides the abort.
+                return False
+            writes = spec.make_writes(leader_values)
+            if writes is None:
+                client.network.send(
+                    client,
+                    coordinator,
+                    "abort_request",
+                    {
+                        "txn": aid,
+                        "client": client.name,
+                        "participants": participants,
+                    },
+                )
+                yield decision
+                return True
+            client.network.send(
+                client,
+                coordinator,
+                "commit_request",
+                {
+                    "txn": aid,
+                    "client": client.name,
+                    "participants": participants,
+                    "writes": writes,
+                    "fast_path": unanimous,
+                },
+            )
+            committed = yield decision
+            return bool(committed)
+        finally:
+            client.unregister_attempt(aid)

@@ -1,0 +1,146 @@
+"""The client driver: open-loop load generation and the retry loop.
+
+Clients are application servers co-located with the data servers in
+each datacenter.  The driver implements the paper's measurement rules:
+
+* **open loop** — new transactions arrive at a fixed rate regardless of
+  completions (the "transaction input rate"); retried transactions are
+  not counted as new arrivals;
+* **immediate retry** — an aborted transaction is retried at once, with
+  a fresh attempt id;
+* **retry budget** — after 100 failed attempts the transaction is marked
+  failed and its latency excluded;
+* a committed transaction's latency covers first attempt through final
+  commit.
+
+The driver is also the client-side network endpoint: systems route
+asynchronous per-transaction messages (wounds, priority aborts, late
+read results, ...) through ``txn_event`` messages, dispatched to the
+handler registered for the attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.cluster.node import Node
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.txn.stats import StatsCollector, TxnOutcome, TxnRecord
+from repro.txn.transaction import TransactionSpec
+
+
+class ClientDriver(Node):
+    """One client machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        datacenter: str,
+        system: "TransactionSystem",  # noqa: F821 - avoid import cycle
+        stats: StatsCollector,
+        max_retries: int = 100,
+        clock=None,
+    ) -> None:
+        super().__init__(sim, name, datacenter, clock=clock)
+        self.network = network
+        self.system = system
+        self.stats = stats
+        self.max_retries = max_retries
+        self._event_handlers: Dict[str, Callable[[dict, str], None]] = {}
+        self.txn_start_times: Dict[str, float] = {}
+        self.inflight = 0
+        network.register(self)
+        system.on_client_created(self)
+
+    # ------------------------------------------------------------------
+    # Load generation
+
+    def run_open_loop(
+        self,
+        workload: "Workload",  # noqa: F821 - structural typing (next_transaction)
+        rate_per_second: float,
+        until: float,
+    ) -> None:
+        """Submit new transactions at ``rate_per_second`` until ``until``.
+
+        Interarrival times are exponential (Poisson arrivals), drawn
+        from this client's own stream so clients are independent.
+        """
+        rng = self.sim_rng()
+        mean_gap = 1.0 / rate_per_second
+
+        def _tick() -> None:
+            if self.sim.now >= until:
+                return
+            self.submit(workload.next_transaction(self.name))
+            self.sim.schedule(float(rng.exponential(mean_gap)), _tick)
+
+        self.sim.schedule(float(rng.exponential(mean_gap)), _tick)
+
+    def sim_rng(self):
+        # Late import to avoid widening the constructor signature; each
+        # client derives its stream from its name.
+        from repro.sim import RandomStreams
+
+        if not hasattr(self, "_rng"):
+            self._rng = RandomStreams(0).stream(f"client.{self.name}")
+        return self._rng
+
+    def use_streams(self, streams) -> None:
+        """Adopt the cluster's stream family (called by the harness)."""
+        self._rng = streams.stream(f"client.{self.name}")
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+
+    def submit(self, spec: TransactionSpec) -> "Process":  # noqa: F821
+        """Run one logical transaction to completion (with retries)."""
+        return self.sim.spawn(self._run(spec))
+
+    def _run(self, spec: TransactionSpec) -> Generator:
+        start = self.sim.now
+        self.inflight += 1
+        # Systems that need a retry-stable age (wound-wait) read this.
+        self.txn_start_times[spec.txn_id] = start
+        attempt = 0
+        committed = False
+        while True:
+            committed = yield from self.system.execute(self, spec, attempt)
+            if committed or attempt >= self.max_retries:
+                break
+            attempt += 1
+        self.txn_start_times.pop(spec.txn_id, None)
+        self.inflight -= 1
+        self.stats.add(
+            TxnRecord(
+                txn_id=spec.txn_id,
+                priority=spec.priority,
+                txn_type=spec.txn_type,
+                start=start,
+                end=self.sim.now,
+                retries=attempt,
+                outcome=(
+                    TxnOutcome.COMMITTED if committed else TxnOutcome.FAILED
+                ),
+            )
+        )
+        return committed
+
+    # ------------------------------------------------------------------
+    # Asynchronous per-attempt events
+
+    def register_attempt(
+        self, attempt_id: str, handler: Callable[[dict, str], None]
+    ) -> None:
+        self._event_handlers[attempt_id] = handler
+
+    def unregister_attempt(self, attempt_id: str) -> None:
+        self._event_handlers.pop(attempt_id, None)
+
+    def handle_txn_event(self, payload: dict, src: str) -> None:
+        handler = self._event_handlers.get(payload.get("txn"))
+        if handler is not None:
+            handler(payload, src)

@@ -1,0 +1,18 @@
+"""TAPIR (Zhang et al., SOSP 2015) over inconsistent replication.
+
+TAPIR replicas are *not* Raft-replicated: the client coordinates OCC
+validation through an inconsistent-replication consensus operation.
+
+* :mod:`repro.systems.tapir.replica` — replica-side validation (version
+  checks + prepared-set conflicts), finalize, commit/abort application.
+* :mod:`repro.systems.tapir.system` — the client protocol: read from the
+  closest replica, prepare on all replicas with a fast quorum (all 3
+  for f=1), and — per the Natto paper's modification of the UW
+  implementation — start the slow path immediately when the fast path
+  fails instead of waiting on a 500 ms timeout.
+"""
+
+from repro.systems.tapir.replica import TapirReplica
+from repro.systems.tapir.system import Tapir
+
+__all__ = ["Tapir", "TapirReplica"]

@@ -1,0 +1,27 @@
+"""The Spanner-like 2PL+2PC baseline and its prioritization variants.
+
+* :mod:`repro.systems.twopl.policy` — who gets wounded: wound-wait
+  (plain), priority preemption (P), and preempt-on-wait (POW,
+  McWherter et al.).
+* :mod:`repro.systems.twopl.server` — the participant leader: lock
+  acquisition with wait queues, prepare/commit replication, wound
+  execution.
+* :mod:`repro.systems.twopl.system` — the sequential client protocol:
+  read locks + reads, then 2PC with prepare replication, then the
+  replicated commit decision (the "sequential" structure that costs
+  this family ~700 ms at low load in Figure 7(a)).
+"""
+
+from repro.systems.twopl.policy import (
+    PreemptOnWaitPolicy,
+    PreemptPolicy,
+    WoundWaitPolicy,
+)
+from repro.systems.twopl.system import TwoPL
+
+__all__ = [
+    "PreemptOnWaitPolicy",
+    "PreemptPolicy",
+    "TwoPL",
+    "WoundWaitPolicy",
+]

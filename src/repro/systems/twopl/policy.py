@@ -1,0 +1,117 @@
+"""Wounding policies for the 2PL+2PC family.
+
+A policy answers one question: given a lock requester and the set of
+transactions blocking it, which blockers should be aborted (wounded)?
+The participant server executes the verdicts; a wounded transaction's
+client aborts the attempt and retries (keeping its original timestamp,
+so it ages toward winning).
+
+Victims are advisory — a wound is *requested* of the victim's client,
+which ignores it once the transaction has entered the prepare phase
+(wounding a prepared transaction would stall 2PC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.store.locks import LockRequest, LockTable
+from repro.txn.priority import Priority
+
+
+@dataclass(frozen=True)
+class BlockerInfo:
+    """What a policy may know about one blocking transaction."""
+
+    txn: str
+    timestamp: float
+    priority: Priority
+
+
+def _age(timestamp: float, txn_id: str) -> tuple:
+    """Total age order.  Wound-wait is only deadlock-free if ages form a
+    total order; timestamps alone can tie (transactions submitted in the
+    same instant), so the transaction id breaks ties."""
+    return (timestamp, txn_id)
+
+
+class WoundWaitPolicy:
+    """Classic wound-wait: an older requester wounds younger blockers;
+    a younger requester waits."""
+
+    name = "2PL+2PC"
+
+    def order_key(self, request: LockRequest) -> tuple:
+        return (request.timestamp, request.txn_id)
+
+    def victims(
+        self,
+        requester: LockRequest,
+        blockers: Iterable[BlockerInfo],
+        table: LockTable,
+    ) -> List[str]:
+        mine = _age(requester.timestamp, requester.txn_id)
+        return [
+            b.txn for b in blockers if mine < _age(b.timestamp, b.txn)
+        ]
+
+
+class PreemptPolicy(WoundWaitPolicy):
+    """Priority preemption (the paper's 2PL+2PC(P)).
+
+    A high-priority requester preempts conflicting low-priority
+    transactions regardless of age; high-priority requests also queue
+    ahead of low-priority ones ("a separate queue per priority level,
+    always served first").  Between equal priorities, wound-wait applies.
+    """
+
+    name = "2PL+2PC(P)"
+
+    def order_key(self, request: LockRequest) -> tuple:
+        return (-request.priority, request.timestamp, request.txn_id)
+
+    def victims(
+        self,
+        requester: LockRequest,
+        blockers: Iterable[BlockerInfo],
+        table: LockTable,
+    ) -> List[str]:
+        mine = _age(requester.timestamp, requester.txn_id)
+        out = []
+        for blocker in blockers:
+            if (
+                requester.priority > blocker.priority
+                or mine < _age(blocker.timestamp, blocker.txn)
+            ):
+                out.append(blocker.txn)
+        return out
+
+
+class PreemptOnWaitPolicy(WoundWaitPolicy):
+    """Preempt-on-wait (the paper's 2PL+2PC(POW), after McWherter et al.):
+    a high-priority requester preempts a low-priority blocker only if
+    that blocker is itself waiting for another lock (so preempting it
+    cannot waste work that was about to finish)."""
+
+    name = "2PL+2PC(POW)"
+
+    def order_key(self, request: LockRequest) -> tuple:
+        return (-request.priority, request.timestamp, request.txn_id)
+
+    def victims(
+        self,
+        requester: LockRequest,
+        blockers: Iterable[BlockerInfo],
+        table: LockTable,
+    ) -> List[str]:
+        mine = _age(requester.timestamp, requester.txn_id)
+        out = []
+        for blocker in blockers:
+            preempt = (
+                requester.priority > blocker.priority
+                and table.is_waiting(blocker.txn)
+            )
+            if preempt or mine < _age(blocker.timestamp, blocker.txn):
+                out.append(blocker.txn)
+        return out

@@ -1,0 +1,198 @@
+"""The 2PL+2PC client protocol and system wiring.
+
+Sequential structure, as the paper describes for Megastore/Spanner-
+style systems: transaction processing (lock acquisition + reads), then
+2PC (prepare with replication at every participant), then the
+replicated commit decision at the coordinator — no overlap, which is
+why this family starts around ~700 ms in Figure 7(a) while Carousel
+Basic starts around ~370 ms.
+
+A wound can only land during the read/lock phase; once the client sends
+prepares it ignores wound events (wounding a prepared transaction would
+stall 2PC), and the wounding requester simply waits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.sim import Future, all_of, any_of
+from repro.store.kv import KeyValueStore
+from repro.systems.base import Cluster, TransactionSystem, attempt_id
+from repro.systems.carousel.coordinator import CarouselCoordinator
+from repro.systems.twopl.policy import WoundWaitPolicy
+from repro.systems.twopl.server import TwoPLParticipant
+from repro.raft.group import ReplicationGroup
+from repro.txn.transaction import TransactionSpec
+
+
+class TwoPL(TransactionSystem):
+    """Spanner-like 2PL+2PC; pass a policy for the (P)/(POW) variants."""
+
+    def __init__(self, policy: WoundWaitPolicy = None) -> None:
+        self.policy = policy or WoundWaitPolicy()
+        self.name = self.policy.name
+
+    def setup(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.groups: Dict[int, ReplicationGroup] = {}
+        self.leader_names: Dict[int, str] = {}
+        for placement in cluster.placements:
+            group = ReplicationGroup(
+                cluster.sim,
+                cluster.network,
+                placement,
+                config=cluster.config.raft,
+                replica_factory=self._participant_factory,
+            )
+            self.groups[placement.partition_id] = group
+            self.leader_names[placement.partition_id] = group.leader_name
+        self.coordinators: Dict[str, ReplicationGroup] = {}
+        for dc in cluster.topology.datacenters:
+            self.coordinators[dc] = ReplicationGroup(
+                cluster.sim,
+                cluster.network,
+                cluster.coordinator_placement(dc),
+                config=cluster.config.raft,
+                replica_factory=self._coordinator_factory,
+            )
+
+    def _participant_factory(self, sim, network, name, dc, **kwargs):
+        kwargs["rng"] = self.cluster.streams.stream(f"raft.{name}")
+        return TwoPLParticipant(
+            sim,
+            network,
+            name,
+            dc,
+            store=KeyValueStore(),
+            policy=self.policy,
+            clock=self.cluster.make_clock(name),
+            service_time=self.cluster.config.server_service_time,
+            **kwargs,
+        )
+
+    def _coordinator_factory(self, sim, network, name, dc, **kwargs):
+        kwargs["rng"] = self.cluster.streams.stream(f"raft.{name}")
+        return CarouselCoordinator(
+            sim,
+            network,
+            name,
+            dc,
+            partitioner=self.cluster.partitioner,
+            leader_names=self.leader_names,
+            clock=self.cluster.make_clock(name),
+            service_time=self.cluster.config.server_service_time,
+            **kwargs,
+        )
+
+    def coordinator_name(self, datacenter: str) -> str:
+        return self.coordinators[datacenter].leader_name
+
+    # ------------------------------------------------------------------
+
+    def execute(self, client, spec: TransactionSpec, attempt: int) -> Generator:
+        aid = attempt_id(spec, attempt)
+        partitioner = self.cluster.partitioner
+        participants = sorted(
+            partitioner.participants(spec.read_keys, spec.write_keys)
+        )
+        coordinator = self.coordinator_name(client.datacenter)
+        reads_by_pid = partitioner.group_keys(spec.read_keys)
+        writes_by_pid = partitioner.group_keys(spec.write_keys)
+        # Wound-wait age: stable across retries so a transaction ages
+        # toward winning instead of starving.
+        wound_ts = client.txn_start_times.get(spec.txn_id, client.sim.now)
+
+        wounded = Future()
+        decision = Future()
+
+        def on_event(payload: dict, src: str) -> None:
+            if payload["kind"] == "wound":
+                wounded.try_set_result(True)
+            elif payload["kind"] == "decision":
+                decision.try_set_result(payload["committed"])
+
+        client.register_attempt(aid, on_event)
+        try:
+            # ---- Phase 1: read locks + reads (wound can land here) ----
+            read_calls = all_of(
+                [
+                    client.network.call(
+                        client,
+                        self.leader_names[pid],
+                        "lock_read",
+                        {
+                            "txn": aid,
+                            "reads": reads_by_pid.get(pid, []),
+                            "writes": writes_by_pid.get(pid, []),
+                            "ts": wound_ts,
+                            "priority": int(spec.priority),
+                            "client": client.name,
+                            "coordinator": coordinator,
+                            "participants": participants,
+                        },
+                    )
+                    for pid in participants
+                ]
+            )
+            outcome = yield any_of([read_calls, wounded])
+            if wounded.done or (
+                isinstance(outcome, list)
+                and not all(r["ok"] for r in outcome)
+            ):
+                self._release_everywhere(client, aid, participants)
+                return False
+            read_values: Dict[str, str] = {}
+            for reply in outcome:
+                read_values.update(reply["values"])
+
+            writes = spec.make_writes(read_values)
+            if writes is None:
+                self._release_everywhere(client, aid, participants)
+                return True  # voluntary abort after reads
+
+            # ---- Phase 2: 2PC (wounds are ignored from here on) ----
+            for pid in participants:
+                client.network.send(
+                    client,
+                    self.leader_names[pid],
+                    "twopl_prepare",
+                    {
+                        "txn": aid,
+                        "writes": {
+                            key: writes[key]
+                            for key in writes_by_pid.get(pid, [])
+                            if key in writes
+                        },
+                        "coordinator": coordinator,
+                        "client": client.name,
+                        "participants": participants,
+                    },
+                )
+            client.network.send(
+                client,
+                coordinator,
+                "commit_request",
+                {
+                    "txn": aid,
+                    "client": client.name,
+                    "participants": participants,
+                    # Participants replicate the write data with their
+                    # prepare records; the coordinator replicates only
+                    # its commit decision.
+                    "writes": {},
+                },
+            )
+            committed = yield decision
+            return bool(committed)
+        finally:
+            client.unregister_attempt(aid)
+
+    def _release_everywhere(self, client, aid: str, participants) -> None:
+        for pid in participants:
+            client.network.send(
+                client,
+                self.leader_names[pid],
+                "release_locks",
+                {"txn": aid},
+            )

@@ -1,0 +1,124 @@
+"""Per-transaction outcome records and the experiment-level collector.
+
+The paper's measurement rules, implemented here:
+
+* a committed transaction's latency **includes all its retries**;
+* a transaction that cannot commit within 100 retries is *failed* and
+  its latency is excluded;
+* the harness trims a warm-up and cool-down window (the paper excludes
+  the first and last 10 s of each 60 s run) — trimming is by *start*
+  time of the transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.txn.priority import Priority
+
+
+class TxnOutcome(enum.Enum):
+    COMMITTED = "committed"
+    FAILED = "failed"  # exhausted the retry budget
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """Final account of one logical transaction (across all retries)."""
+
+    txn_id: str
+    priority: Priority
+    txn_type: str
+    start: float
+    end: float
+    retries: int
+    outcome: TxnOutcome
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is TxnOutcome.COMMITTED
+
+
+class StatsCollector:
+    """Accumulates records during a run; answers the paper's questions."""
+
+    def __init__(self) -> None:
+        self.records: List[TxnRecord] = []
+
+    def add(self, record: TxnRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Selection
+
+    def committed(
+        self,
+        priority: Optional[Priority] = None,
+        window: Optional[tuple] = None,
+        txn_type: Optional[str] = None,
+    ) -> List[TxnRecord]:
+        out = []
+        for record in self.records:
+            if not record.committed:
+                continue
+            if priority is not None and record.priority is not priority:
+                continue
+            if txn_type is not None and record.txn_type != txn_type:
+                continue
+            if window is not None and not (
+                window[0] <= record.start < window[1]
+            ):
+                continue
+            out.append(record)
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregates
+
+    @staticmethod
+    def percentile_latency(records: Iterable[TxnRecord], q: float) -> float:
+        latencies = [r.latency for r in records]
+        if not latencies:
+            return float("nan")
+        return float(np.percentile(latencies, q))
+
+    def p95_latency(
+        self,
+        priority: Optional[Priority] = None,
+        window: Optional[tuple] = None,
+        txn_type: Optional[str] = None,
+    ) -> float:
+        """The paper's headline metric, in seconds."""
+        return self.percentile_latency(
+            self.committed(priority, window, txn_type), 95.0
+        )
+
+    def goodput(
+        self,
+        window: tuple,
+        priority: Optional[Priority] = None,
+    ) -> float:
+        """Committed transactions per second inside ``window``."""
+        count = len(self.committed(priority, window))
+        span = window[1] - window[0]
+        return count / span if span > 0 else float("nan")
+
+    def abort_summary(self) -> Dict[str, float]:
+        total = len(self.records)
+        if total == 0:
+            return {"transactions": 0, "failed": 0, "mean_retries": 0.0}
+        failed = sum(1 for r in self.records if not r.committed)
+        mean_retries = float(np.mean([r.retries for r in self.records]))
+        return {
+            "transactions": total,
+            "failed": failed,
+            "mean_retries": mean_retries,
+        }

@@ -1,0 +1,28 @@
+"""Correctness verification of committed histories.
+
+Every transaction system in this repository claims serializability;
+:mod:`repro.verify.history` checks it on real executions: clients tag
+their writes with unique values, stores record per-key version chains,
+and the checker builds the standard dependency graph (write-write,
+write-read, read-write edges) and verifies it is acyclic — i.e. the
+committed history is conflict-serializable — plus a set of sanity
+invariants (every committed write landed exactly once, every read saw a
+real version).
+
+Used heavily by ``tests/verify`` against all six systems under forced
+contention, including Natto's ECSF/CP fast paths.
+"""
+
+from repro.verify.history import (
+    ExecutionTrace,
+    SerializabilityChecker,
+    SerializationViolation,
+    tagged_rmw_spec,
+)
+
+__all__ = [
+    "ExecutionTrace",
+    "SerializabilityChecker",
+    "SerializationViolation",
+    "tagged_rmw_spec",
+]

@@ -1,0 +1,30 @@
+"""The paper's three workloads, plus the key-distribution machinery.
+
+* :mod:`repro.workloads.zipf` — YCSB's Zipfian generator (with key
+  scrambling so hot keys spread across partitions) and a uniform
+  alternative for the Figure 14 throughput experiment.
+* :mod:`repro.workloads.ycsbt` — YCSB+T: 6 read-modify-write operations
+  per transaction over Zipfian keys.
+* :mod:`repro.workloads.retwis` — the TAPIR paper's synthetic
+  Twitter-like mix (add user / follow / post / load timeline).
+* :mod:`repro.workloads.smallbank` — OLTP-Bench SmallBank: six banking
+  transaction types, 1M users, a 1K-user hotspot receiving 90% of
+  accesses.
+"""
+
+from repro.workloads.base import KeyChooser, UniformKeys, Workload
+from repro.workloads.retwis import RetwisWorkload
+from repro.workloads.smallbank import SmallBankWorkload
+from repro.workloads.ycsbt import YcsbTWorkload
+from repro.workloads.zipf import ZipfianGenerator, ZipfianKeys
+
+__all__ = [
+    "KeyChooser",
+    "RetwisWorkload",
+    "SmallBankWorkload",
+    "UniformKeys",
+    "Workload",
+    "YcsbTWorkload",
+    "ZipfianGenerator",
+    "ZipfianKeys",
+]

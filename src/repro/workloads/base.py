@@ -1,0 +1,106 @@
+"""Workload plumbing shared by YCSB+T, Retwis and SmallBank.
+
+A workload is a factory of :class:`~repro.txn.transaction.TransactionSpec`s:
+the client driver calls :meth:`Workload.next_transaction` for every new
+(open-loop) arrival.  The base class owns transaction ids, priority
+assignment (10% high / 90% low by default, the paper's setting from
+McWherter et al.) and the value-update convention used by all three
+workloads' ``compute_writes`` functions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.txn.priority import Priority
+from repro.txn.transaction import TransactionSpec
+
+
+class KeyChooser(abc.ABC):
+    """Strategy for picking keys (Zipfian, uniform, hotspot...)."""
+
+    @abc.abstractmethod
+    def sample_distinct(self, count: int) -> List[str]: ...
+
+
+class UniformKeys(KeyChooser):
+    """Uniform choice over ``prefix-<i>`` (the Figure 14 distribution)."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        rng: np.random.Generator,
+        prefix: str = "key",
+    ) -> None:
+        self.num_keys = num_keys
+        self.prefix = prefix
+        self._rng = rng
+
+    def sample_distinct(self, count: int) -> List[str]:
+        ranks = self._rng.choice(self.num_keys, size=count, replace=False)
+        return [f"{self.prefix}-{int(r)}" for r in ranks]
+
+
+def bump_value(old: str, tag: str) -> str:
+    """The standard RMW update: fold a tag into a 64-byte value."""
+    return (old + "|" + tag)[-64:]
+
+
+class Workload(abc.ABC):
+    """Base class: ids, priorities, and the per-type generators."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        high_priority_fraction: float = 0.1,
+        high_priority_types: Optional[Set[str]] = None,
+    ) -> None:
+        """``high_priority_types``, when given, replaces the random
+        priority assignment: exactly those transaction types run at high
+        priority (the Figure 10 setup, where only sendPayment is high)."""
+        self._rng = rng
+        self.high_priority_fraction = high_priority_fraction
+        self.high_priority_types = high_priority_types
+        self._counters: Dict[str, int] = {}
+
+    def _next_id(self, client_name: str) -> str:
+        count = self._counters.get(client_name, 0)
+        self._counters[client_name] = count + 1
+        return f"{client_name}:{count}"
+
+    def _priority_for(self, txn_type: str) -> Priority:
+        if self.high_priority_types is not None:
+            return (
+                Priority.HIGH
+                if txn_type in self.high_priority_types
+                else Priority.LOW
+            )
+        if float(self._rng.random()) < self.high_priority_fraction:
+            return Priority.HIGH
+        return Priority.LOW
+
+    def _spec(
+        self,
+        client_name: str,
+        txn_type: str,
+        reads: Sequence[str],
+        writes: Sequence[str],
+        compute_writes,
+    ) -> TransactionSpec:
+        txn_id = self._next_id(client_name)
+        return TransactionSpec(
+            txn_id=txn_id,
+            read_keys=tuple(reads),
+            write_keys=tuple(writes),
+            priority=self._priority_for(txn_type),
+            compute_writes=compute_writes,
+            txn_type=txn_type,
+        )
+
+    @abc.abstractmethod
+    def next_transaction(self, client_name: str) -> TransactionSpec: ...

@@ -1,0 +1,94 @@
+"""Retwis: the synthetic Twitter-like workload (§5.2.2).
+
+Transaction profile, exactly as the paper states it:
+
+* 5%  add user      — reads 1 key, writes 3 keys
+* 15% follow user   — reads and writes 2 keys
+* 30% post tweet    — reads 3 keys, writes 5 keys
+* 50% load timeline — reads 1-10 keys (uniformly random count)
+
+Keys are drawn from the same Zipfian chooser as YCSB+T (coefficient
+0.65 by default; swept in Figure 8(b); uniform for Figure 14's
+throughput runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.workloads.base import KeyChooser, Workload, bump_value
+from repro.workloads.zipf import ZipfianKeys
+
+
+class RetwisWorkload(Workload):
+    """The TAPIR paper's Retwis mix."""
+
+    name = "retwis"
+
+    #: (type, cumulative probability)
+    MIX = (
+        ("add_user", 0.05),
+        ("follow", 0.20),
+        ("post_tweet", 0.50),
+        ("load_timeline", 1.00),
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_keys: int = 1_000_000,
+        zipf_theta: float = 0.65,
+        high_priority_fraction: float = 0.1,
+        high_priority_types: Optional[Set[str]] = None,
+        key_chooser: Optional[KeyChooser] = None,
+    ) -> None:
+        super().__init__(rng, high_priority_fraction, high_priority_types)
+        self.keys = key_chooser or ZipfianKeys(num_keys, zipf_theta, rng)
+
+    def next_transaction(self, client_name: str):
+        draw = float(self._rng.random())
+        for txn_type, cumulative in self.MIX:
+            if draw <= cumulative:
+                break
+        builder = getattr(self, f"_{txn_type}")
+        return builder(client_name)
+
+    # ------------------------------------------------------------------
+    # Transaction types
+
+    def _add_user(self, client_name: str):
+        keys = self.keys.sample_distinct(3)
+        reads = (keys[0],)
+        writes = tuple(keys)
+
+        def compute(reads_in, _w=writes):
+            return {key: bump_value(reads_in.get(key, ""), "u") for key in _w}
+
+        return self._spec(client_name, "add_user", reads, writes, compute)
+
+    def _follow(self, client_name: str):
+        keys = tuple(self.keys.sample_distinct(2))
+
+        def compute(reads_in, _k=keys):
+            return {key: bump_value(reads_in[key], "f") for key in _k}
+
+        return self._spec(client_name, "follow", keys, keys, compute)
+
+    def _post_tweet(self, client_name: str):
+        keys = self.keys.sample_distinct(5)
+        reads = tuple(keys[:3])
+        writes = tuple(keys)
+
+        def compute(reads_in, _w=writes):
+            return {key: bump_value(reads_in.get(key, ""), "t") for key in _w}
+
+        return self._spec(client_name, "post_tweet", reads, writes, compute)
+
+    def _load_timeline(self, client_name: str):
+        count = int(self._rng.integers(1, 11))
+        reads = tuple(self.keys.sample_distinct(count))
+        return self._spec(
+            client_name, "load_timeline", reads, (), lambda reads_in: {}
+        )

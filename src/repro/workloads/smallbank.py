@@ -1,0 +1,177 @@
+"""SmallBank (OLTP-Bench variant, §5.2.3).
+
+Banking transactions over per-user ``checking:<u>`` / ``savings:<u>``
+accounts.  The paper's configuration: 1M users, 1K of them "hot", and
+90% of transactions touch hot users.  The OLTP-Bench mix extends the
+original SmallBank with sendPayment (account-to-account transfers),
+which Figure 10 singles out as the high-priority type:
+
+* balance (15%)          — read both accounts of one user
+* depositChecking (15%)  — RMW checking
+* transactSavings (15%)  — RMW savings
+* amalgamate (15%)       — move one user's funds into another's checking
+* writeCheck (15%)       — read both, debit checking
+* sendPayment (25%)      — transfer between two users' checking accounts
+
+Balances are stringified integers (initial 1000); the write functions
+do real arithmetic so the test suite can check conservation of money.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+INITIAL_BALANCE = 1000
+
+
+def parse_balance(value: str) -> int:
+    """Balance from a stored value; unwritten keys carry the store's
+    64-byte init pattern and read as the initial balance."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return INITIAL_BALANCE
+
+
+class SmallBankWorkload(Workload):
+    """OLTP-Bench SmallBank with a hot-user skew."""
+
+    name = "smallbank"
+
+    MIX = (
+        ("balance", 0.15),
+        ("deposit_checking", 0.30),
+        ("transact_savings", 0.45),
+        ("amalgamate", 0.60),
+        ("write_check", 0.75),
+        ("send_payment", 1.00),
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_users: int = 1_000_000,
+        hot_users: int = 1_000,
+        hot_fraction: float = 0.9,
+        high_priority_fraction: float = 0.1,
+        high_priority_types: Optional[Set[str]] = None,
+    ) -> None:
+        super().__init__(rng, high_priority_fraction, high_priority_types)
+        self.num_users = num_users
+        self.hot_users = hot_users
+        self.hot_fraction = hot_fraction
+
+    # ------------------------------------------------------------------
+    # User selection
+
+    def _pick_user(self) -> int:
+        if float(self._rng.random()) < self.hot_fraction:
+            return int(self._rng.integers(0, self.hot_users))
+        return int(self._rng.integers(self.hot_users, self.num_users))
+
+    def _pick_two_users(self) -> List[int]:
+        first = self._pick_user()
+        second = self._pick_user()
+        while second == first:
+            second = self._pick_user()
+        return [first, second]
+
+    @staticmethod
+    def checking(user: int) -> str:
+        return f"checking:{user}"
+
+    @staticmethod
+    def savings(user: int) -> str:
+        return f"savings:{user}"
+
+    # ------------------------------------------------------------------
+
+    def next_transaction(self, client_name: str):
+        draw = float(self._rng.random())
+        for txn_type, cumulative in self.MIX:
+            if draw <= cumulative:
+                break
+        return getattr(self, f"_{txn_type}")(client_name)
+
+    def _balance(self, client_name: str):
+        user = self._pick_user()
+        reads = (self.checking(user), self.savings(user))
+        return self._spec(client_name, "balance", reads, (), lambda r: {})
+
+    def _deposit_checking(self, client_name: str):
+        key = self.checking(self._pick_user())
+        amount = int(self._rng.integers(1, 100))
+
+        def compute(reads, _key=key, _amount=amount):
+            return {_key: str(parse_balance(reads[_key]) + _amount)}
+
+        return self._spec(
+            client_name, "deposit_checking", (key,), (key,), compute
+        )
+
+    def _transact_savings(self, client_name: str):
+        key = self.savings(self._pick_user())
+        amount = int(self._rng.integers(1, 100))
+
+        def compute(reads, _key=key, _amount=amount):
+            return {_key: str(parse_balance(reads[_key]) + _amount)}
+
+        return self._spec(
+            client_name, "transact_savings", (key,), (key,), compute
+        )
+
+    def _amalgamate(self, client_name: str):
+        src, dst = self._pick_two_users()
+        src_savings = self.savings(src)
+        src_checking = self.checking(src)
+        dst_checking = self.checking(dst)
+        reads = (src_savings, src_checking, dst_checking)
+        writes = reads
+
+        def compute(r, _ss=src_savings, _sc=src_checking, _dc=dst_checking):
+            moved = parse_balance(r[_ss]) + parse_balance(r[_sc])
+            return {
+                _ss: "0",
+                _sc: "0",
+                _dc: str(parse_balance(r[_dc]) + moved),
+            }
+
+        return self._spec(client_name, "amalgamate", reads, writes, compute)
+
+    def _write_check(self, client_name: str):
+        user = self._pick_user()
+        checking = self.checking(user)
+        savings = self.savings(user)
+        amount = int(self._rng.integers(1, 100))
+        reads = (checking, savings)
+
+        def compute(r, _c=checking, _s=savings, _amount=amount):
+            total = parse_balance(r[_c]) + parse_balance(r[_s])
+            penalty = 1 if total < _amount else 0
+            return {_c: str(parse_balance(r[_c]) - _amount - penalty)}
+
+        return self._spec(
+            client_name, "write_check", reads, (checking,), compute
+        )
+
+    def _send_payment(self, client_name: str):
+        src, dst = self._pick_two_users()
+        src_checking = self.checking(src)
+        dst_checking = self.checking(dst)
+        amount = int(self._rng.integers(1, 100))
+        keys = (src_checking, dst_checking)
+
+        def compute(r, _s=src_checking, _d=dst_checking, _amount=amount):
+            src_balance = parse_balance(r[_s])
+            if src_balance < _amount:
+                return {}  # insufficient funds: commit with no effect
+            return {
+                _s: str(src_balance - _amount),
+                _d: str(parse_balance(r[_d]) + _amount),
+            }
+
+        return self._spec(client_name, "send_payment", keys, keys, compute)

@@ -1,0 +1,42 @@
+"""YCSB+T: the transactional YCSB extension used in §5.2.1/§5.3.1.
+
+"Each transaction consists of 6 read-modify-write operations accessing
+different keys" over a 1M-key data set with Zipfian-skewed access
+(default coefficient 0.65, swept to 0.95 in Figure 8(a))."""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.workloads.base import KeyChooser, Workload, bump_value
+from repro.workloads.zipf import ZipfianKeys
+
+
+class YcsbTWorkload(Workload):
+    """6 RMW operations per transaction, Zipfian keys."""
+
+    name = "ycsbt"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_keys: int = 1_000_000,
+        zipf_theta: float = 0.65,
+        ops_per_txn: int = 6,
+        high_priority_fraction: float = 0.1,
+        high_priority_types: Optional[Set[str]] = None,
+        key_chooser: Optional[KeyChooser] = None,
+    ) -> None:
+        super().__init__(rng, high_priority_fraction, high_priority_types)
+        self.ops_per_txn = ops_per_txn
+        self.keys = key_chooser or ZipfianKeys(num_keys, zipf_theta, rng)
+
+    def next_transaction(self, client_name: str):
+        keys = tuple(self.keys.sample_distinct(self.ops_per_txn))
+
+        def compute_writes(reads, _keys=keys):
+            return {key: bump_value(reads[key], "y") for key in _keys}
+
+        return self._spec(client_name, "rmw", keys, keys, compute_writes)

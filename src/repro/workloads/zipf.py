@@ -1,0 +1,107 @@
+"""Zipfian key selection, YCSB style.
+
+The paper's experiments draw keys "following a Zipfian distribution
+with a default coefficient of 0.65" over a 1M-key data set, sweeping the
+coefficient to 0.95 for the contention experiments (Figure 8).  We use
+YCSB's ZipfianGenerator algorithm (Gray et al.'s rejection-inversion
+closed form), which samples in O(1) after an O(N) zeta precomputation,
+plus YCSB's *scrambled* variant: ranks are hashed before being mapped to
+keys, so the popular keys spread uniformly over the key space (and thus
+over partitions) instead of clustering at low ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+# Cache of zeta sums: (n, theta) -> zeta(n, theta).  Computing the sum
+# for 1M items takes ~10 ms; experiments re-create workloads per run.
+_ZETA_CACHE: Dict[Tuple[int, float], float] = {}
+
+#: FNV-1a constants for rank scrambling (stable across processes).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def zeta(n: int, theta: float) -> float:
+    """The generalized harmonic number sum_{i=1..n} 1/i^theta."""
+    key = (n, theta)
+    value = _ZETA_CACHE.get(key)
+    if value is None:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        value = float(np.sum(ranks ** -theta))
+        _ZETA_CACHE[key] = value
+    return value
+
+
+def fnv_hash(value: int) -> int:
+    """64-bit FNV-1a over the integer's 8 bytes."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h = ((h ^ (value & 0xFF)) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class ZipfianGenerator:
+    """Samples ranks in [0, n) with P(rank=i) proportional to 1/(i+1)^theta."""
+
+    def __init__(self, n: int, theta: float, rng: np.random.Generator) -> None:
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1) for this sampler")
+        if n < 2:
+            raise ValueError("need at least two items")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        self._zetan = zeta(n, theta)
+        self._zeta2 = zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    def sample(self) -> int:
+        u = float(self._rng.random())
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class ZipfianKeys:
+    """Scrambled-Zipfian chooser over ``key-<i>`` names."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        theta: float,
+        rng: np.random.Generator,
+        prefix: str = "key",
+        scramble: bool = True,
+    ) -> None:
+        self.num_keys = num_keys
+        self.prefix = prefix
+        self.scramble = scramble
+        self._generator = ZipfianGenerator(num_keys, theta, rng)
+
+    def sample_key(self) -> str:
+        rank = self._generator.sample()
+        if self.scramble:
+            rank = fnv_hash(rank) % self.num_keys
+        return f"{self.prefix}-{rank}"
+
+    def sample_distinct(self, count: int) -> List[str]:
+        """``count`` distinct keys (re-sampling collisions away)."""
+        chosen: List[str] = []
+        seen = set()
+        while len(chosen) < count:
+            key = self.sample_key()
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen

@@ -1,0 +1,60 @@
+"""Tests for hash partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import Partitioner
+
+
+def test_partition_ids_in_range():
+    p = Partitioner(5)
+    for i in range(1000):
+        assert 0 <= p.partition_of(f"key-{i}") < 5
+
+
+def test_mapping_is_deterministic():
+    a, b = Partitioner(5), Partitioner(5)
+    for i in range(100):
+        key = f"user:{i}"
+        assert a.partition_of(key) == b.partition_of(key)
+
+
+def test_group_keys_preserves_order_within_partition():
+    p = Partitioner(3)
+    keys = [f"k{i}" for i in range(30)]
+    groups = p.group_keys(keys)
+    for pid, group in groups.items():
+        assert group == [k for k in keys if p.partition_of(k) == pid]
+
+
+def test_participants_unions_key_sets():
+    p = Partitioner(4)
+    reads = ["a", "b", "c"]
+    writes = ["c", "d"]
+    expected = {p.partition_of(k) for k in reads + writes}
+    assert p.participants(reads, writes) == expected
+
+
+def test_single_partition_maps_everything_to_zero():
+    p = Partitioner(1)
+    assert p.participants(["x", "y", "z"]) == {0}
+
+
+def test_zero_partitions_rejected():
+    with pytest.raises(ValueError):
+        Partitioner(0)
+
+
+@given(st.text(min_size=1, max_size=32), st.integers(min_value=1, max_value=64))
+def test_partition_always_valid_for_any_key(key, n):
+    assert 0 <= Partitioner(n).partition_of(key) < n
+
+
+def test_distribution_is_roughly_uniform():
+    p = Partitioner(5)
+    counts = [0] * 5
+    for i in range(10000):
+        counts[p.partition_of(f"key-{i:06d}")] += 1
+    for count in counts:
+        assert 1700 < count < 2300  # within ~15% of 2000

@@ -1,0 +1,70 @@
+"""Tests for timestamp assignment."""
+
+import pytest
+
+from repro.core.timestamps import (
+    FALLBACK_HEADROOM,
+    FALLBACK_SAFETY,
+    TimestampAssigner,
+)
+from repro.net.topology import azure_topology
+
+
+class FakeView:
+    def __init__(self, estimates):
+        self._estimates = estimates
+
+    def estimate(self, target):
+        return self._estimates.get(target)
+
+
+def make_assigner(estimates, margin=0.0, client_dc="VA"):
+    return TimestampAssigner(
+        FakeView(estimates), azure_topology(), client_dc, margin
+    )
+
+
+LEADERS = {0: "p0-VA", 4: "p4-SG"}
+LEADER_DCS = {0: "VA", 4: "SG"}
+
+
+def test_timestamp_is_now_plus_max_estimate():
+    assigner = make_assigner({"p0-VA": 0.001, "p4-SG": 0.108})
+    assignment = assigner.assign(10.0, [0, 4], LEADERS, LEADER_DCS)
+    assert assignment.timestamp == pytest.approx(10.108)
+    assert assignment.max_owd == pytest.approx(0.108)
+
+
+def test_per_participant_arrival_estimates():
+    assigner = make_assigner({"p0-VA": 0.001, "p4-SG": 0.108})
+    assignment = assigner.assign(10.0, [0, 4], LEADERS, LEADER_DCS)
+    assert assignment.arrival_estimates[0] == pytest.approx(10.001)
+    assert assignment.arrival_estimates[4] == pytest.approx(10.108)
+
+
+def test_margin_adds_headroom_to_timestamp_only():
+    assigner = make_assigner({"p0-VA": 0.001}, margin=0.002)
+    assignment = assigner.assign(5.0, [0], LEADERS, LEADER_DCS)
+    assert assignment.timestamp == pytest.approx(5.003)
+    # Arrival estimates are raw (used for CP predictions, not waits).
+    assert assignment.arrival_estimates[0] == pytest.approx(5.001)
+
+
+def test_cold_start_falls_back_to_topology():
+    assigner = make_assigner({})  # no probe data yet
+    base = azure_topology().one_way("VA", "SG")
+    estimate = assigner.estimate_owd("p4-SG", "SG")
+    assert estimate == pytest.approx(base * FALLBACK_SAFETY + FALLBACK_HEADROOM)
+
+
+def test_partial_probe_data_mixes_sources():
+    assigner = make_assigner({"p0-VA": 0.0004})
+    assignment = assigner.assign(0.0, [0, 4], LEADERS, LEADER_DCS)
+    # The SG estimate is a fallback, so it dominates.
+    assert assignment.max_owd > 0.1
+
+
+def test_single_participant():
+    assigner = make_assigner({"p0-VA": 0.0004})
+    assignment = assigner.assign(1.0, [0], LEADERS, LEADER_DCS)
+    assert assignment.timestamp == pytest.approx(1.0004)

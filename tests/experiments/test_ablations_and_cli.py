@@ -1,0 +1,59 @@
+"""Smoke tests for the ablation suite and the experiments CLI."""
+
+import math
+
+from repro.experiments import ablations
+from repro.experiments.common import Scale
+from repro.experiments.__main__ import EXHIBITS, main
+
+TINY = Scale("tiny", duration=2.0, trim=0.5, repeats=1, drain=4.0)
+
+
+def test_timestamp_margin_ablation_sweeps():
+    tables = ablations.run_timestamp_margin(TINY, margins_ms=(0.0, 2.0))
+    series = tables["high"].series["Natto-RECSF"]
+    assert len(series) == 2
+    assert all(not math.isnan(v) for v in series)
+
+
+def test_pa_skip_rule_ablation_produces_both_variants():
+    tables = ablations.run_pa_skip_rule(TINY)
+    assert len(tables["high"].series["Natto-RECSF"]) == 2
+    assert len(tables["low"].series["Natto-RECSF"]) == 2
+
+
+def test_probe_cadence_ablation_sweeps():
+    tables = ablations.run_probe_cadence(TINY, intervals_ms=(10.0, 500.0))
+    assert len(tables["high"].series["Natto-RECSF"]) == 2
+
+
+def test_cli_registry_covers_every_exhibit():
+    assert set(EXHIBITS) == {
+        "ablations",
+        "table1",
+        "fig7a",
+        "fig7c",
+        "fig7e",
+        "fig8a",
+        "fig8b",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+    }
+
+
+def test_cli_runs_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "NSW-SG" in out
+
+
+def test_cli_rejects_unknown_exhibit():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["fig99"])

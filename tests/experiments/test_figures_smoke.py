@@ -1,0 +1,93 @@
+"""Smoke tests for the experiment modules (tiny scale, subset grids).
+
+These don't re-assert the paper's shapes — the benchmark suite does —
+they check that every figure module wires up, sweeps, and produces
+well-formed tables.
+"""
+
+import math
+
+from repro.experiments import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    table1,
+)
+from repro.experiments.common import Scale
+
+TINY = Scale("tiny", duration=2.0, trim=0.5, repeats=1, drain=4.0)
+TWO = ("Carousel Basic", "Natto-RECSF")
+
+
+def _check(tables, x_count, systems=TWO):
+    for table in tables.values():
+        for name in systems:
+            series = table.series[name]
+            assert len(series) == x_count
+            assert all(not math.isnan(v) for v in series)
+
+
+def test_table1_matches_topology():
+    measured = table1.run()
+    assert len(measured) == 20  # both directions of 10 pairs
+
+
+def test_figure7_ycsbt(capsys):
+    tables = figure7.run_ycsbt(TINY, systems=TWO, rates=(50,))
+    _check(tables, 1)
+
+
+def test_figure7_retwis():
+    tables = figure7.run_retwis(TINY, systems=TWO, rates=(100,))
+    _check(tables, 1)
+
+
+def test_figure7_smallbank():
+    tables = figure7.run_smallbank(TINY, systems=TWO, rates=(200,))
+    _check(tables, 1)
+
+
+def test_figure8_sweeps_theta():
+    tables = figure8.run_ycsbt(TINY, systems=("Natto-RECSF",))
+    assert len(tables["high"].series["Natto-RECSF"]) == 4
+
+
+def test_figure9_percentages():
+    tables = figure9.run(TINY, systems=TWO, percentages=(10, 100))
+    _check(tables, 2)
+
+
+def test_figure10_prepends_baseline_rate():
+    tables = figure10.run(TINY, systems=("Natto-RECSF",), rates=(100, 400))
+    increase = tables["increase"].series["Natto-RECSF"]
+    assert len(increase) == 2
+    assert increase[0] == 0.0  # baseline point is its own reference
+
+
+def test_figure11_variances():
+    tables = figure11.run(TINY, systems=TWO, variances=(0.0, 15.0))
+    _check(tables, 2)
+
+
+def test_figure12_losses():
+    tables = figure12.run(TINY, systems=TWO, loss_rates=(0.0, 1.0))
+    _check(tables, 2)
+
+
+def test_figure13_hybrid():
+    tables = figure13.run(TINY, systems=TWO)
+    _check(tables, 1)
+
+
+def test_figure14_partitions():
+    tables = figure14.run(
+        TINY, systems=("Carousel Basic",), partitions=(2,)
+    )
+    series = tables["throughput"].series["Carousel Basic"]
+    assert len(series) == 1
+    assert series[0] > 500  # committed load on 2 partitions

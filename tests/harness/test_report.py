@@ -1,0 +1,44 @@
+"""Tests for the report tables."""
+
+import math
+
+from repro.harness import SeriesTable, format_ms
+
+
+def test_format_ms_styles():
+    assert format_ms(1234.5) == "1234"
+    assert format_ms(99.94) == "99.9"
+    assert format_ms(float("nan")) == "-"
+
+
+def test_add_and_lookup_points():
+    table = SeriesTable("t", "x", [1, 2])
+    table.add_point("sys", 10.0)
+    table.add_point("sys", 20.0)
+    assert table.value("sys", 1) == 10.0
+    assert table.value("sys", 2) == 20.0
+
+
+def test_render_contains_everything():
+    table = SeriesTable("Figure X", "rate", [50, 350])
+    table.add_point("A", 380.0, 12.0)
+    table.add_point("A", 5000.0, 400.0)
+    table.add_point("B", 400.0)
+    text = table.render()
+    assert "Figure X" in text
+    assert "rate" in text
+    assert "380" in text and "5000" in text
+    assert "±" in text  # error bars rendered when provided
+
+
+def test_render_handles_missing_points():
+    table = SeriesTable("t", "x", [1, 2, 3])
+    table.add_point("partial", 1.0)
+    text = table.render()
+    assert text.count("-") >= 2  # separator plus missing cells
+
+
+def test_nan_error_not_rendered():
+    table = SeriesTable("t", "x", [1])
+    table.add_point("sys", 5.0, float("nan"))
+    assert "±" not in table.render().split("\n")[-1]

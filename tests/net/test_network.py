@@ -1,0 +1,145 @@
+"""Tests for message delivery and RPC."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Node
+from repro.net import LossConfig, Network, NetworkConfig, azure_topology
+from repro.sim import Future, Simulator
+
+
+class Echo(Node):
+    """Test server: records one-way messages, echoes RPCs."""
+
+    def __init__(self, sim, name, dc, **kwargs):
+        super().__init__(sim, name, dc, **kwargs)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append((message.method, message.payload, self.sim.now))
+
+    def handle_echo(self, payload, src):
+        return {"echoed": payload["x"], "from": src}
+
+    def handle_deferred(self, payload, src):
+        future = Future()
+        self.sim.schedule(payload["wait"], lambda: future.set_result("later"))
+        return future
+
+
+def build(topology=None, config=None, loss_rng=None):
+    sim = Simulator()
+    topo = topology or azure_topology()
+    net = Network(sim, topo, config=config or NetworkConfig(), loss_rng=loss_rng)
+    return sim, net
+
+
+def test_one_way_message_delivered_after_propagation():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    b = net.register(Echo(sim, "b", "SG"))
+    net.send(a, "b", "ping", {"x": 1})
+    sim.run()
+    assert len(b.received) == 1
+    method, payload, at = b.received[0]
+    assert method == "ping"
+    # One-way VA->SG is 107 ms.
+    assert at == pytest.approx(0.107, abs=0.005)
+
+
+def test_rpc_round_trip_takes_full_rtt():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    net.register(Echo(sim, "b", "SG"))
+    done_at = []
+    future = net.call(a, "b", "echo", {"x": 42})
+    future.add_done_callback(lambda f: done_at.append(sim.now))
+    sim.run()
+    assert future.value["echoed"] == 42
+    assert done_at[0] == pytest.approx(0.214, abs=0.005)
+
+
+def test_rpc_handler_may_return_future():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    net.register(Echo(sim, "b", "WA"))
+    future = net.call(a, "b", "deferred", {"wait": 0.5})
+    sim.run()
+    assert future.value == "later"
+    # RTT 67ms + 500ms server-side wait.
+    assert sim.now >= 0.5 + 0.067 - 0.01
+
+
+def test_intra_dc_messages_are_fast():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    net.register(Echo(sim, "b", "VA"))
+    future = net.call(a, "b", "echo", {"x": 1})
+    sim.run()
+    assert future.done
+    assert sim.now < 0.002
+
+
+def test_duplicate_registration_rejected():
+    sim, net = build()
+    net.register(Echo(sim, "a", "VA"))
+    with pytest.raises(ValueError):
+        net.register(Echo(sim, "a", "WA"))
+
+
+def test_service_time_delays_handling_and_queues():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    b = net.register(Echo(sim, "b", "VA", service_time=0.010))
+    net.send(a, "b", "m1", {})
+    net.send(a, "b", "m2", {})
+    sim.run()
+    t1 = b.received[0][2]
+    t2 = b.received[1][2]
+    # Second message waits for the first's service time.
+    assert t2 - t1 == pytest.approx(0.010, abs=1e-6)
+
+
+def test_loss_requires_rng():
+    with pytest.raises(ValueError):
+        build(config=NetworkConfig(loss=LossConfig(loss_rate=0.01)))
+
+
+def test_loss_inflates_latency_tail():
+    config = NetworkConfig(loss=LossConfig(loss_rate=0.3, rto=0.2))
+    sim, net = build(config=config, loss_rng=np.random.default_rng(0))
+    a = net.register(Echo(sim, "a", "VA"))
+    b = net.register(Echo(sim, "b", "WA"))
+    for i in range(200):
+        net.send(a, "b", f"m{i}", {})
+    sim.run()
+    times = [at for _, _, at in b.received]
+    # With 30% loss some messages must have paid at least one RTO.
+    assert max(times) > 0.2
+
+
+def test_bandwidth_pipe_serializes_large_messages():
+    # Tiny capacity: 10 KB/s; two ~0.6KB messages must queue.
+    config = NetworkConfig(
+        loss=LossConfig(loss_rate=0.0, link_capacity_bytes_per_s=1e4)
+    )
+    sim, net = build(config=config)
+    a = net.register(Echo(sim, "a", "VA"))
+    b = net.register(Echo(sim, "b", "WA"))
+    big = {"data": "x" * 500}
+    net.send(a, "b", "m1", dict(big))
+    net.send(a, "b", "m2", dict(big))
+    sim.run()
+    t1, t2 = b.received[0][2], b.received[1][2]
+    # Transmission time of one message is ~62 ms at 10 KB/s.
+    assert t2 - t1 > 0.05
+
+
+def test_network_counts_traffic():
+    sim, net = build()
+    a = net.register(Echo(sim, "a", "VA"))
+    net.register(Echo(sim, "b", "WA"))
+    net.send(a, "b", "x", {"k": "v"})
+    sim.run()
+    assert net.messages_sent == 1
+    assert net.bytes_sent > 100  # header alone is 120 bytes

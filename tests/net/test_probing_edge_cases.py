@@ -1,0 +1,94 @@
+"""Edge cases of the delay estimator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Clock, ClockConfig, Node
+from repro.net import Network, azure_topology
+from repro.net.delay import ParetoDelay
+from repro.net.probing import ClientDelayView, ProbeProxy, ProbeTargetMixin
+from repro.sim import Simulator
+
+
+class Server(ProbeTargetMixin, Node):
+    pass
+
+
+def test_estimate_tracks_a_delay_regime_change():
+    """The sliding window forgets old samples: after delays change, the
+    estimate converges to the new regime within ~a window."""
+    sim = Simulator()
+    topo = azure_topology()
+
+    class SwitchableDelay:
+        def __init__(self):
+            self.extra = 0.0
+
+        def sample(self, a, b):
+            return topo.one_way(a, b) + self.extra
+
+        def mean(self, a, b):
+            return topo.one_way(a, b) + self.extra
+
+    model = SwitchableDelay()
+    net = Network(sim, topo, delay_model=model)
+    net.register(Server(sim, "s", "WA"))
+    proxy = ProbeProxy(sim, net, "VA", ["s"])
+    proxy.start()
+    sim.run(until=2.0)
+    before = proxy.estimate("s")
+    model.extra = 0.020  # the path got 20 ms slower
+    sim.run(until=4.5)
+    after = proxy.estimate("s")
+    assert after == pytest.approx(before + 0.020, abs=0.003)
+
+
+def test_percentile_parameter_controls_conservatism():
+    sim = Simulator()
+    topo = azure_topology()
+    rng = np.random.default_rng(0)
+    net = Network(sim, topo, delay_model=ParetoDelay(topo, rng, cv=0.2))
+    net.register(Server(sim, "s", "SG"))
+    p50 = ProbeProxy(sim, net, "VA", ["s"], percentile=50.0)
+    p99 = ProbeProxy(sim, net, "PR", ["s"], percentile=99.0)
+    p50.start()
+    p99.start()
+    sim.run(until=3.0)
+    # Normalize out the different base delays before comparing.
+    ratio50 = p50.estimate("s") / topo.one_way("VA", "SG")
+    ratio99 = p99.estimate("s") / topo.one_way("PR", "SG")
+    assert ratio99 > ratio50
+
+
+def test_view_reflects_added_targets_after_refresh():
+    sim = Simulator()
+    net = Network(sim, azure_topology())
+    net.register(Server(sim, "s1", "WA"))
+    net.register(Server(sim, "s2", "PR"))
+    proxy = ProbeProxy(sim, net, "VA", ["s1"])
+    view = ClientDelayView(sim, proxy, refresh_interval=0.1)
+    proxy.start()
+    sim.run(until=1.0)
+    assert view.estimate("s2") is None
+    proxy.add_target("s2")
+    sim.run(until=2.5)
+    assert view.estimate("s2") is not None
+
+
+def test_skewed_proxy_clock_cancels_out_of_round_trip():
+    """The proxy's own skew shifts every sample equally; the *relative*
+    estimate between two servers is unaffected."""
+    sim = Simulator()
+    topo = azure_topology()
+    net = Network(sim, topo)
+    net.register(Server(sim, "near", "WA"))
+    net.register(Server(sim, "far", "SG"))
+    proxy = ProbeProxy(sim, net, "VA", ["near", "far"])
+    skewed = Clock(sim, ClockConfig(max_offset=0.0))
+    skewed._offset = 0.050  # wildly skewed proxy
+    proxy.clock = skewed
+    proxy.start()
+    sim.run(until=2.0)
+    difference = proxy.estimate("far") - proxy.estimate("near")
+    expected = topo.one_way("VA", "SG") - topo.one_way("VA", "WA")
+    assert difference == pytest.approx(expected, abs=0.002)

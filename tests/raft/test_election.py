@@ -1,0 +1,79 @@
+"""Tests for leader election (exercised even though experiments run
+failure-free)."""
+
+import numpy as np
+
+from repro.cluster.placement import PartitionPlacement
+from repro.net import Network, local_cluster_topology
+from repro.raft import RaftConfig, ReplicationGroup, Role
+from repro.sim import Simulator
+
+
+def build_with_elections(seed=0):
+    sim = Simulator()
+    net = Network(sim, local_cluster_topology())
+    group = ReplicationGroup(
+        sim,
+        net,
+        PartitionPlacement(0, ("DC1", "DC2", "DC3")),
+        config=RaftConfig(heartbeat_interval=0.02, election_timeout=0.1),
+        rng=np.random.default_rng(seed),
+    )
+    return sim, group
+
+
+def leaders(group):
+    return [r for r in group.replicas if r.role is Role.LEADER]
+
+
+def test_exactly_one_leader_emerges():
+    sim, group = build_with_elections()
+    sim.run(until=2.0)
+    assert len(leaders(group)) == 1
+
+
+def test_terms_increase_during_election():
+    sim, group = build_with_elections()
+    sim.run(until=2.0)
+    assert all(r.current_term >= 1 for r in group.replicas)
+
+
+def test_leader_is_stable_once_elected():
+    sim, group = build_with_elections()
+    sim.run(until=1.0)
+    (leader,) = leaders(group)
+    term = leader.current_term
+    sim.run(until=5.0)
+    assert leaders(group) == [leader]
+    assert leader.current_term == term
+
+
+def test_elected_leader_can_replicate():
+    sim, group = build_with_elections()
+    sim.run(until=1.0)
+    (leader,) = leaders(group)
+    future = leader.propose("after-election")
+    sim.run(until=2.0)
+    assert future.done
+    assert future.value == leader.log.last_index
+
+
+def test_followers_learn_leader_hint():
+    sim, group = build_with_elections()
+    sim.run(until=2.0)
+    (leader,) = leaders(group)
+    for replica in group.replicas:
+        assert replica.leader_hint == leader.name
+
+
+def test_at_most_one_leader_per_term_across_seeds():
+    """Election safety: never two leaders in the same term."""
+    for seed in range(5):
+        sim, group = build_with_elections(seed)
+        sim.run(until=3.0)
+        by_term = {}
+        for replica in group.replicas:
+            if replica.role is Role.LEADER:
+                by_term.setdefault(replica.current_term, []).append(replica)
+        for term_leaders in by_term.values():
+            assert len(term_leaders) == 1

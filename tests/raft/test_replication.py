@@ -1,0 +1,114 @@
+"""Tests for replication through a ReplicationGroup."""
+
+import pytest
+
+from repro.cluster.placement import PartitionPlacement
+from repro.net import Network, azure_topology
+from repro.raft import RaftConfig, ReplicationGroup, Role
+from repro.sim import Simulator
+
+
+def build(datacenters=("VA", "WA", "PR"), apply_callback=None, heartbeat=0.05):
+    sim = Simulator()
+    net = Network(sim, azure_topology())
+    group = ReplicationGroup(
+        sim,
+        net,
+        PartitionPlacement(0, tuple(datacenters)),
+        config=RaftConfig(heartbeat_interval=heartbeat, election_timeout=None),
+        apply_callback=apply_callback,
+    )
+    return sim, net, group
+
+
+def test_designated_leader_is_ready_at_time_zero():
+    _, _, group = build()
+    assert group.leader.role is Role.LEADER
+    assert group.leader.datacenter == "VA"
+
+
+def test_replicate_commits_after_one_round_trip_to_nearest_majority():
+    sim, _, group = build()
+    committed_at = []
+    future = group.replicate({"op": "x"})
+    future.add_done_callback(lambda f: committed_at.append(sim.now))
+    sim.run(until=1.0)
+    assert future.done
+    # Majority of {VA, WA, PR} from VA needs the nearest follower ack:
+    # WA at RTT 67 ms.
+    assert committed_at[0] == pytest.approx(0.067, abs=0.005)
+
+
+def test_replicate_resolves_with_log_index():
+    sim, _, group = build()
+    f1 = group.replicate("a")
+    f2 = group.replicate("b")
+    sim.run(until=1.0)
+    assert f1.value == 1
+    assert f2.value == 2
+
+
+def test_entries_apply_in_order_on_all_replicas():
+    applied = []
+    sim, _, group = build(
+        apply_callback=lambda payload, index: applied.append((payload, index))
+    )
+    for op in "abc":
+        group.replicate(op)
+    sim.run(until=2.0)
+    # 3 replicas each apply 3 entries, in index order per replica.
+    assert len(applied) == 9
+    per_replica = [applied[i::1] for i in range(1)]  # flatten check below
+    indexes_seen = [index for _, index in applied]
+    assert sorted(indexes_seen) == [1, 1, 1, 2, 2, 2, 3, 3, 3]
+    # Order is never violated: for the concatenated stream, each index i+1
+    # appears only after index i has appeared at least once.
+    first_seen = {}
+    for position, (_, index) in enumerate(applied):
+        first_seen.setdefault(index, position)
+    assert first_seen[1] < first_seen[2] < first_seen[3]
+
+
+def test_follower_logs_converge_to_leader_log():
+    sim, _, group = build()
+    for op in range(5):
+        group.replicate(op)
+    sim.run(until=2.0)
+    leader_log = group.leader.log.snapshot()
+    for replica in group.replicas:
+        assert replica.log.snapshot() == leader_log
+        assert replica.commit_index == 5
+
+
+def test_propose_on_follower_fails():
+    sim, _, group = build()
+    follower = group.replicas[1]
+    future = follower.propose("x")
+    assert future.done
+    with pytest.raises(RuntimeError):
+        future.value
+
+
+def test_single_replica_group_commits_immediately():
+    sim, net, group = build(datacenters=("VA",))
+    future = group.replicate("solo")
+    sim.run(until=0.1)
+    assert future.value == 1
+
+
+def test_replica_in_and_closest_replica():
+    _, _, group = build()
+    assert group.replica_in("WA").name == "p0-WA"
+    assert group.replica_in("SG") is None
+    topo = azure_topology()
+    assert group.closest_replica_name("VA", topo) == "p0-VA"
+    # From SG the closest of {VA 214, WA 163, PR 149} is PR.
+    assert group.closest_replica_name("SG", topo) == "p0-PR"
+
+
+def test_many_concurrent_proposals_all_commit():
+    sim, _, group = build()
+    futures = [group.replicate(i) for i in range(50)]
+    sim.run(until=2.0)
+    assert all(f.done for f in futures)
+    assert [f.value for f in futures] == list(range(1, 51))

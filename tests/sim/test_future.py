@@ -1,0 +1,102 @@
+"""Tests for Future and the combinators."""
+
+import pytest
+
+from repro.sim import Future, all_of, any_of
+from repro.sim.future import FutureError
+
+
+def test_set_result_resolves():
+    f = Future()
+    assert not f.done
+    f.set_result(42)
+    assert f.done
+    assert f.value == 42
+    assert f.exception is None
+
+
+def test_value_before_resolution_raises():
+    with pytest.raises(FutureError):
+        Future().value
+
+
+def test_double_resolution_raises():
+    f = Future()
+    f.set_result(1)
+    with pytest.raises(FutureError):
+        f.set_result(2)
+
+
+def test_set_exception_propagates_through_value():
+    f = Future()
+    f.set_exception(ValueError("boom"))
+    assert f.done
+    with pytest.raises(ValueError):
+        f.value
+
+
+def test_try_set_result_reports_winner():
+    f = Future()
+    assert f.try_set_result("first")
+    assert not f.try_set_result("second")
+    assert f.value == "first"
+
+
+def test_callback_after_resolution_runs_immediately():
+    f = Future()
+    f.set_result("x")
+    seen = []
+    f.add_done_callback(lambda fut: seen.append(fut.value))
+    assert seen == ["x"]
+
+
+def test_callbacks_run_in_registration_order():
+    f = Future()
+    seen = []
+    f.add_done_callback(lambda _: seen.append(1))
+    f.add_done_callback(lambda _: seen.append(2))
+    f.set_result(None)
+    assert seen == [1, 2]
+
+
+def test_all_of_collects_values_in_input_order():
+    a, b, c = Future(), Future(), Future()
+    combined = all_of([a, b, c])
+    b.set_result("b")
+    a.set_result("a")
+    assert not combined.done
+    c.set_result("c")
+    assert combined.value == ["a", "b", "c"]
+
+
+def test_all_of_empty_resolves_immediately():
+    assert all_of([]).value == []
+
+
+def test_all_of_propagates_exception():
+    a, b = Future(), Future()
+    combined = all_of([a, b])
+    a.set_exception(RuntimeError("bad"))
+    b.set_result(1)
+    with pytest.raises(RuntimeError):
+        combined.value
+
+
+def test_any_of_takes_first_resolution():
+    a, b = Future(), Future()
+    combined = any_of([a, b])
+    b.set_result("fast")
+    assert combined.value == "fast"
+    a.set_result("slow")
+    assert combined.value == "fast"
+
+
+def test_any_of_with_already_resolved_input():
+    a = Future()
+    a.set_result("ready")
+    assert any_of([a, Future()]).value == "ready"
+
+
+def test_any_of_requires_inputs():
+    with pytest.raises(ValueError):
+        any_of([])

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_runs_callback_at_deadline():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_events_run_in_deadline_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_deadline_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, lambda label=label: order.append(label))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        times.append(sim.now)
+        sim.schedule(0.5, lambda: times.append(sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert times == [1.0, 1.5]
+
+
+def test_run_until_stops_before_later_events_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(5.0, lambda: seen.append(5))
+    sim.run(until=2.0)
+    assert seen == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.stop())
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    seen = []
+    timer = sim.schedule(1.0, lambda: seen.append("fired"))
+    timer.cancel()
+    sim.run()
+    assert seen == []
+    assert timer.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_stop_halts_the_loop():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, lambda: seen.append("late"))
+    sim.run()
+    assert seen == []
+    assert sim.now == 1.0
+
+
+def test_timeout_future_resolves_at_deadline():
+    sim = Simulator()
+    future = sim.timeout(0.25)
+    resolved_at = []
+    future.add_done_callback(lambda _: resolved_at.append(sim.now))
+    sim.run()
+    assert resolved_at == [0.25]
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_heavy_event_load_maintains_order():
+    sim = Simulator()
+    seen = []
+    # Insert in reverse order; must still fire sorted.
+    for i in reversed(range(500)):
+        sim.schedule(i * 0.001, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == sorted(seen)

@@ -1,0 +1,81 @@
+"""Property-based tests for the event kernel and futures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Future, Simulator, all_of
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.booleans(),  # cancel it?
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_cancelled_timers_never_fire(specs):
+    sim = Simulator()
+    fired = []
+    for i, (delay, cancel) in enumerate(specs):
+        timer = sim.schedule(delay, lambda i=i: fired.append(i))
+        if cancel:
+            timer.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(specs) if not cancel}
+    assert set(fired) == expected
+
+
+@given(st.integers(min_value=0, max_value=20), st.integers(min_value=0))
+@settings(max_examples=100, deadline=None)
+def test_all_of_resolves_iff_all_inputs_do(n, resolve_mask):
+    futures = [Future() for _ in range(n)]
+    combined = all_of(futures)
+    resolved = 0
+    for i, future in enumerate(futures):
+        if resolve_mask & (1 << i):
+            future.set_result(i)
+            resolved += 1
+    assert combined.done == (resolved == n)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1,
+                max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_process_sleep_chain_total_time(delays):
+    sim = Simulator()
+
+    def proc():
+        for delay in delays:
+            yield delay
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.done
+    assert sim.now == sum(delays)
+
+
+@given(st.floats(min_value=0.0, max_value=100.0),
+       st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_run_until_never_overshoots(first, second):
+    sim = Simulator()
+    sim.schedule(first, lambda: None)
+    sim.schedule(second, lambda: None)
+    horizon = min(first, second) / 2
+    sim.run(until=horizon)
+    assert sim.now == horizon

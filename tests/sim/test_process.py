@@ -1,0 +1,144 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Future, Simulator
+
+
+def test_process_sleeps_on_numeric_yield():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield 1.0
+        trace.append(sim.now)
+        yield 0.5
+        trace.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [0.0, 1.0, 1.5]
+
+
+def test_process_awaits_future_value():
+    sim = Simulator()
+    gate = Future()
+    got = []
+
+    def proc():
+        value = yield gate
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.schedule(2.0, lambda: gate.set_result("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_return_value_becomes_future_value():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        return "done"
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == "done"
+
+
+def test_process_joins_child_process():
+    sim = Simulator()
+
+    def child():
+        yield 2.0
+        return 7
+
+    def parent():
+        result = yield sim.spawn(child())
+        return result * 2
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == 14
+
+
+def test_future_exception_is_thrown_into_process():
+    sim = Simulator()
+    gate = Future()
+    caught = []
+
+    def proc():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(proc())
+    sim.schedule(1.0, lambda: gate.set_exception(ValueError("kaboom")))
+    sim.run()
+    assert caught == ["kaboom"]
+
+
+def test_uncaught_process_exception_resolves_future_with_error():
+    sim = Simulator()
+
+    def proc():
+        yield 0.1
+        raise RuntimeError("died")
+
+    p = sim.spawn(proc())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.value
+
+
+def test_invalid_yield_type_raises_in_process():
+    sim = Simulator()
+
+    def proc():
+        yield "not a future"
+
+    p = sim.spawn(proc())
+    sim.run()
+    with pytest.raises(TypeError):
+        p.value
+
+
+def test_spawn_defers_first_step():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append("ran")
+        yield 0
+
+    sim.spawn(proc())
+    assert trace == []  # not started until the loop runs
+    sim.run()
+    assert trace == ["ran"]
+
+
+def test_many_interleaved_processes():
+    sim = Simulator()
+    trace = []
+
+    def proc(name, period):
+        for _ in range(3):
+            yield period
+            trace.append((name, sim.now))
+
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 1.5))
+    sim.run()
+    # At t=3.0 both fire; b scheduled its wake-up first (at t=1.5), so
+    # FIFO tie-breaking runs b before a.
+    assert trace == [
+        ("a", 1.0),
+        ("b", 1.5),
+        ("a", 2.0),
+        ("b", 3.0),
+        ("a", 3.0),
+        ("b", 4.5),
+    ]

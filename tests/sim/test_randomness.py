@@ -1,0 +1,45 @@
+"""Tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RandomStreams(7).stream("workload")
+    b = RandomStreams(7).stream("workload")
+    assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+
+def test_different_names_give_independent_streams():
+    streams = RandomStreams(7)
+    a = list(streams.stream("workload").integers(0, 10**9, 8))
+    b = list(streams.stream("network").integers(0, 10**9, 8))
+    assert a != b
+
+
+def test_stream_instance_is_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    base = RandomStreams(3)
+    expected = list(base.stream("b").integers(0, 10**9, 5))
+
+    other = RandomStreams(3)
+    other.stream("a").integers(0, 10**9, 100)  # heavy use of stream a
+    assert list(other.stream("b").integers(0, 10**9, 5)) == expected
+
+
+def test_fork_changes_all_streams():
+    base = RandomStreams(3)
+    fork = base.fork(1)
+    assert list(base.stream("w").integers(0, 10**9, 5)) != list(
+        fork.stream("w").integers(0, 10**9, 5)
+    )
+
+
+def test_forks_with_different_salts_differ():
+    base = RandomStreams(3)
+    assert list(base.fork(1).stream("w").integers(0, 10**9, 5)) != list(
+        base.fork(2).stream("w").integers(0, 10**9, 5)
+    )

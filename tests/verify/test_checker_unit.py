@@ -1,0 +1,113 @@
+"""Unit tests: the checker must catch hand-crafted violations."""
+
+import pytest
+
+from repro.store.kv import KeyValueStore
+from repro.verify import (
+    ExecutionTrace,
+    SerializabilityChecker,
+    SerializationViolation,
+)
+from repro.verify.history import INITIAL, writer_of_value
+
+
+def make_store():
+    return KeyValueStore(record_history=True)
+
+
+def test_writer_of_value_parses_tags():
+    assert writer_of_value("t1@k", "k") == "t1"
+    assert writer_of_value("init:k" + "0" * 50, "k") == INITIAL
+
+
+def test_clean_serial_history_passes():
+    store = make_store()
+    trace = ExecutionTrace()
+    # t1 reads initial, writes; t2 reads t1's value, writes.
+    store.apply("k", "t1@k", "t1.0")
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    store.apply("k", "t2@k", "t2.0")
+    trace.record("t2", {"k": "t1@k"}, {"k": "t2@k"})
+    graph = SerializabilityChecker({"p": store}, trace, ["t1", "t2"]).check()
+    assert graph.has_edge("t1", "t2")
+
+
+def test_lost_update_detected():
+    store = make_store()
+    trace = ExecutionTrace()
+    # t1 claims to have committed a write that never landed.
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    with pytest.raises(SerializationViolation):
+        SerializabilityChecker({"p": store}, trace, ["t1"]).check()
+
+
+def test_double_apply_detected():
+    store = make_store()
+    trace = ExecutionTrace()
+    store.apply("k", "t1@k", "t1.0")
+    store.apply("k", "t1@k", "t1.1")  # applied twice!
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    with pytest.raises(SerializationViolation):
+        SerializabilityChecker({"p": store}, trace, ["t1"]).check()
+
+
+def test_phantom_read_detected():
+    store = make_store()
+    trace = ExecutionTrace()
+    store.apply("k", "t1@k", "t1.0")
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    # t2 read a value from a writer that never committed to k.
+    store.apply("k", "t2@k", "t2.0")
+    trace.record("t2", {"k": "ghost@k"}, {"k": "t2@k"})
+    with pytest.raises(SerializationViolation):
+        SerializabilityChecker({"p": store}, trace, ["t1", "t2"]).check()
+
+
+def test_write_skew_style_cycle_detected():
+    """Classic non-serializable interleaving: t1 and t2 each read the
+    other's pre-state and both write — a rw/rw cycle."""
+    store_a = make_store()
+    store_b = make_store()
+    trace = ExecutionTrace()
+    store_a.apply("a", "t1@a", "t1.0")
+    store_b.apply("b", "t2@b", "t2.0")
+    # t1 read b's initial value (before t2's write): rw t1 -> t2.
+    trace.record("t1", {"b": "init:b"}, {"a": "t1@a"})
+    # t2 read a's initial value (before t1's write): rw t2 -> t1.
+    trace.record("t2", {"a": "init:a"}, {"b": "t2@b"})
+    with pytest.raises(SerializationViolation):
+        SerializabilityChecker(
+            {"a": store_a, "b": store_b}, trace, ["t1", "t2"]
+        ).check()
+
+
+def test_stale_read_cycle_detected():
+    store = make_store()
+    trace = ExecutionTrace()
+    store.apply("k", "t1@k", "t1.0")
+    store.apply("k", "t2@k", "t2.0")
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    # t2 committed after t1 in the chain but claims it read the initial
+    # version — an rw edge t2 -> t1 against the ww edge t1 -> t2.
+    trace.record("t2", {"k": "init:k"}, {"k": "t2@k"})
+    with pytest.raises(SerializationViolation):
+        SerializabilityChecker({"p": store}, trace, ["t1", "t2"]).check()
+
+
+def test_attempt_suffixes_are_normalized():
+    store = make_store()
+    trace = ExecutionTrace()
+    store.apply("k", "t1@k", "t1.3")  # committed on the fourth attempt
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    SerializabilityChecker({"p": store}, trace, ["t1"]).check()
+
+
+def test_reads_of_own_writes_do_not_self_loop():
+    store = make_store()
+    trace = ExecutionTrace()
+    store.apply("k", "t1@k", "t1.0")
+    trace.record("t1", {"k": "init:k"}, {"k": "t1@k"})
+    graph = SerializabilityChecker({"p": store}, trace, ["t1"]).check()
+    assert not list(graph.edges("t1", data=True)) or all(
+        u != v for u, v in graph.edges()
+    )

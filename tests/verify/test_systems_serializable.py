@@ -1,0 +1,99 @@
+"""Serializability of every system under forced contention.
+
+Each system runs a burst of tagged read-modify-write transactions over
+a tiny hot key set from clients on three continents — maximal conflict
+pressure — and the committed history must be conflict-serializable with
+no lost updates.
+"""
+
+import pytest
+
+from repro.harness.systems import SYSTEM_FACTORIES, make_system
+from repro.txn.priority import Priority
+from repro.verify import ExecutionTrace, SerializabilityChecker, tagged_rmw_spec
+
+from tests.helpers import build_system
+
+HOT_KEYS = ["hot-a", "hot-b", "hot-c"]
+
+
+def _stores_for(system):
+    """Authoritative store per partition, regardless of system family."""
+    stores = {}
+    for pid, group in system.groups.items():
+        replicas = getattr(group, "replicas")
+        leader = getattr(group, "leader", replicas[0])
+        stores[pid] = leader.store
+    return stores
+
+
+def _enable_history(system):
+    for pid, group in system.groups.items():
+        for replica in group.replicas:
+            replica.store.record_history = True
+
+
+@pytest.mark.parametrize("system_name", sorted(SYSTEM_FACTORIES))
+def test_contended_history_is_serializable(system_name):
+    from repro.systems.base import SystemConfig
+
+    # A touch of delay jitter, as any real network has: with perfectly
+    # constant delays, OCC mutual-abort retries stay synchronized
+    # forever — an artifact, not a protocol property.
+    config = SystemConfig(delay_variance_cv=0.01)
+    cluster, clients, stats = build_system(
+        make_system(system_name), config=config, client_dcs=["VA", "PR", "SG"]
+    )
+    system = clients[0].system
+    _enable_history(system)
+    cluster.sim.run(until=2.5)  # probe warm-up (needed by Natto variants)
+    for client in clients:
+        # The burst is far beyond the paper's contention regime (three
+        # hot keys, every transaction conflicting); lift the 100-retry
+        # cap so the invariant under test is convergence + correctness.
+        client.max_retries = 1000
+
+    trace = ExecutionTrace()
+    index = 0
+
+    def burst():
+        nonlocal index
+        for round_number in range(3):
+            for client in clients:
+                for j in range(2):
+                    keys = [HOT_KEYS[(index + j) % len(HOT_KEYS)],
+                            HOT_KEYS[(index + j + 1) % len(HOT_KEYS)]]
+                    priority = (
+                        Priority.HIGH if (index + j) % 3 == 0 else Priority.LOW
+                    )
+                    spec = tagged_rmw_spec(
+                        trace, f"t{index}-{j}-{client.name}", keys, priority
+                    )
+                    client.submit(spec)
+                index += 2
+            yield 0.15
+
+    cluster.sim.spawn(burst())
+    # Long horizon: under this contention the youngest transactions in
+    # the 2PL systems only win the wound-wait race near the end.
+    cluster.sim.run(until=600.0)
+
+    committed = [r.txn_id for r in stats.records if r.committed]
+    assert committed, "nothing committed"
+    # Liveness expectations differ by family.  Systems that order or
+    # queue conflicting work (wound-wait 2PL, Natto's timestamp order)
+    # must drain the burst completely.  Pure OCC retry systems
+    # (Carousel, TAPIR) legitimately starve under adversarial
+    # contention — the paper itself counts transactions that fail after
+    # 100 retries — so for them we require most of the burst to drain.
+    occ_family = {"Carousel Basic", "Carousel Fast", "TAPIR"}
+    if system_name in occ_family:
+        assert len(committed) >= 0.5 * len(stats.records)
+    else:
+        assert all(r.committed for r in stats.records)
+
+    checker = SerializabilityChecker(
+        _stores_for(system), trace, committed
+    )
+    graph = checker.check()
+    assert graph.number_of_nodes() == len(committed)

@@ -1,0 +1,82 @@
+"""Tests for the Zipfian generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import ZipfianGenerator, ZipfianKeys, fnv_hash, zeta
+
+
+def test_zeta_small_values():
+    assert zeta(1, 0.5) == 1.0
+    assert zeta(2, 0.5) == pytest.approx(1.0 + 2 ** -0.5)
+
+
+def test_samples_stay_in_range():
+    gen = ZipfianGenerator(1000, 0.65, np.random.default_rng(0))
+    for _ in range(5000):
+        assert 0 <= gen.sample() < 1000
+
+
+def test_rank_zero_is_most_popular():
+    gen = ZipfianGenerator(10_000, 0.9, np.random.default_rng(1))
+    samples = [gen.sample() for _ in range(20_000)]
+    counts = np.bincount(samples, minlength=10_000)
+    assert counts[0] == max(counts)
+    assert counts[0] > counts[100]
+
+
+def test_higher_theta_is_more_skewed():
+    def top1_share(theta):
+        gen = ZipfianGenerator(10_000, theta, np.random.default_rng(2))
+        samples = [gen.sample() for _ in range(20_000)]
+        return np.mean(np.array(samples) == 0)
+
+    assert top1_share(0.95) > top1_share(0.65)
+
+
+def test_frequencies_follow_power_law():
+    n, theta = 1000, 0.8
+    gen = ZipfianGenerator(n, theta, np.random.default_rng(3))
+    samples = [gen.sample() for _ in range(200_000)]
+    counts = np.bincount(samples, minlength=n).astype(float)
+    # P(rank 0) / P(rank 9) should be about 10^theta.
+    ratio = counts[0] / counts[9]
+    assert ratio == pytest.approx(10 ** theta, rel=0.3)
+
+
+def test_invalid_parameters_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(1000, 0.0, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(1000, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(1, 0.5, rng)
+
+
+def test_fnv_hash_is_deterministic_and_spreads():
+    assert fnv_hash(42) == fnv_hash(42)
+    values = {fnv_hash(i) % 1000 for i in range(100)}
+    assert len(values) > 80  # hot ranks land on spread-out keys
+
+
+def test_scrambled_keys_spread_over_partitions():
+    from repro.cluster.partition import Partitioner
+
+    keys = ZipfianKeys(1_000_000, 0.9, np.random.default_rng(4))
+    partitioner = Partitioner(5)
+    hot_partitions = {
+        partitioner.partition_of(keys.sample_key()) for _ in range(500)
+    }
+    assert hot_partitions == {0, 1, 2, 3, 4}
+
+
+def test_sample_distinct_returns_unique_keys():
+    keys = ZipfianKeys(100, 0.95, np.random.default_rng(5))
+    chosen = keys.sample_distinct(10)
+    assert len(chosen) == len(set(chosen)) == 10
+
+
+def test_unscrambled_keys_concentrate_low_ranks():
+    keys = ZipfianKeys(1000, 0.9, np.random.default_rng(6), scramble=False)
+    assert keys.sample_distinct(3)[0].startswith("key-")
