@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.cluster.partition import Partitioner
 from repro.core.config import NattoConfig
 from repro.net.probing import ProbeTargetMixin
+from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
 from repro.sim import Future
 from repro.store.kv import KeyValueStore
@@ -72,6 +73,10 @@ class NattoTxn:
     state: str = "queued"      # queued|waiting|cond|prepared|done
     epoch: int = 0
     condition: Set[str] = field(default_factory=set)
+    # Trace spans for this attempt's server-side phases (None when
+    # tracing is off).
+    queue_span: Any = None
+    prepared_span: Any = None
 
     @property
     def order(self) -> Tuple[float, str]:
@@ -121,8 +126,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self._applied_early: Set[str] = set()
         # Abort decisions (coordinator path) can beat the transaction's
         # own read-and-prepare (client path) under jitter; tombstones
-        # make the cancellation order-independent.
-        self._abort_tombstones: Set[str] = set()
+        # make the cancellation order-independent.  Values remember the
+        # abort reason so the late refusal stays classified.
+        self._abort_tombstones: Dict[str, Optional[str]] = {}
         self._rap_seen: Set[str] = set()
         self._dispatch_timer = None
         # Counters (tests, reports, ablations).
@@ -145,9 +151,12 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
 
     def handle_read_and_prepare(self, payload: dict, src: str) -> Future:
         if payload["txn"] in self._abort_tombstones:
-            self._abort_tombstones.discard(payload["txn"])
+            reason = self._abort_tombstones.pop(payload["txn"])
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.tracer.refuse(reason, node=self.name, txn=payload["txn"])
             reply = Future()
-            reply.set_result({"ok": False})
+            reply.set_result({"ok": False, "reason": reason_value(reason)})
             return reply
         self._rap_seen.add(payload["txn"])
         pid = self.partition_id()
@@ -169,7 +178,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         )
         if self._late_violation(info):
             self.stats["late_aborts"] += 1
-            self._refuse(info)
+            self._refuse(info, AbortReason.TIMESTAMP_MISS)
             return info.reply
         if self.natto.pa and self._priority_abort_on_arrival(info):
             return info.reply
@@ -203,11 +212,16 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             for other in ongoing
         )
 
-    def _refuse(self, info: NattoTxn) -> None:
+    def _refuse(self, info: NattoTxn, reason) -> None:
         """Abort before (or instead of) preparing: fail the client's
         read reply and vote no so the coordinator cleans up."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.refuse(reason, node=self.name, txn=info.txn)
         if not info.reply.done:
-            info.reply.set_result({"ok": False})
+            info.reply.set_result(
+                {"ok": False, "reason": reason_value(reason)}
+            )
         self._network.send(
             self,
             info.coordinator,
@@ -218,6 +232,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 "vote": "no",
                 "participants": info.participants,
                 "client": info.client,
+                "reason": reason_value(reason),
             },
         )
 
@@ -246,7 +261,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 and not self._completes_in_time(info, other)
             ):
                 self.stats["priority_aborts"] += 1
-                self._refuse(info)
+                self._refuse(info, AbortReason.PREEMPTED)
                 return True
         return False
 
@@ -263,12 +278,23 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self.queue.remove(low)
         self.txns.pop(low.txn, None)
         low.state = "done"
-        self._refuse(low)
+        if low.queue_span is not None:
+            low.queue_span.set(outcome="preempted")
+            low.queue_span.finish()
+        self._refuse(low, AbortReason.PREEMPTED)
 
     # ------------------------------------------------------------------
     # Queue and dispatch
 
     def _enqueue(self, info: NattoTxn) -> None:
+        obs = self.sim.obs
+        if obs.enabled:
+            info.queue_span = obs.tracer.span(
+                "queue", node=self.name, txn=info.txn
+            )
+            obs.metrics.gauge(f"natto.queue_depth.{self.name}").set(
+                len(self.queue) + 1
+            )
         self.queue.append(info)
         self.queue.sort(key=lambda t: t.order)
         self._schedule_dispatch()
@@ -289,6 +315,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self._schedule_dispatch()
 
     def _dispatch(self, info: NattoTxn) -> None:
+        if info.queue_span is not None:
+            info.queue_span.finish()
+            info.queue_span = None
         if not info.uses_locking:
             blocked = not self.prepared.is_free(info.reads, info.writes)
             blocked = blocked or any(
@@ -299,7 +328,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 self.stats["occ_aborts"] += 1
                 self.txns.pop(info.txn, None)
                 info.state = "done"
-                self._refuse(info)
+                self._refuse(info, AbortReason.OCC_CONFLICT)
                 return
             self._prepare(info)
             return
@@ -340,6 +369,11 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self.stats["prepares"] += 1
         self.prepared.add(info.txn, info.reads, info.writes)
         info.state = "prepared"
+        obs = self.sim.obs
+        if obs.enabled and info.prepared_span is None:
+            info.prepared_span = obs.tracer.span(
+                "prepared", node=self.name, txn=info.txn
+            )
         self._deliver_reads(info)
         self.propose(("prepare", info.txn)).add_done_callback(
             lambda _: self._vote_yes(info, conditional=None)
@@ -411,6 +445,11 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self.stats["conditional_prepares"] += 1
         self.prepared.add(info.txn, info.reads, info.writes)
         info.state = "cond"
+        obs = self.sim.obs
+        if obs.enabled and info.prepared_span is None:
+            info.prepared_span = obs.tracer.span(
+                "prepared", node=self.name, txn=info.txn, conditional=True
+            )
         info.condition = {b.txn for b in blocker_infos}
         for blocker in blocker_infos:
             self._conditions.setdefault(blocker.txn, set()).add(info.txn)
@@ -523,9 +562,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             if txn not in self._rap_seen:
                 # The abort overtook the read-and-prepare; refuse it on
                 # arrival instead of leaving a stuck prepared mark.
-                self._abort_tombstones.add(txn)
+                self._abort_tombstones[txn] = payload.get("reason")
             self._resolve_conditions(txn, committed=False)
-            self._remove_everywhere(txn)
+            self._remove_everywhere(txn, reason=payload.get("reason"))
             self._drain_waiting()
             return
         writes = payload.get("writes") or {}
@@ -549,8 +588,17 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         info = self.txns.pop(txn, None)
         if info is not None:
             info.state = "done"
+            self._finish_spans(info)
 
-    def _remove_everywhere(self, txn: str) -> None:
+    @staticmethod
+    def _finish_spans(info: NattoTxn) -> None:
+        for span in (info.queue_span, info.prepared_span):
+            if span is not None:
+                span.finish()
+        info.queue_span = None
+        info.prepared_span = None
+
+    def _remove_everywhere(self, txn: str, reason=None) -> None:
         """Abort cleanup: the transaction may be queued, waiting,
         conditionally prepared or prepared."""
         info = self.txns.pop(txn, None)
@@ -559,6 +607,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         if info is None:
             return
         info.state = "done"
+        self._finish_spans(info)
         if info in self.queue:
             self.queue.remove(info)
             self._schedule_dispatch()
@@ -569,7 +618,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             if waiters is not None:
                 waiters.discard(txn)
         if not info.reply.done:
-            info.reply.set_result({"ok": False})
+            info.reply.set_result(
+                {"ok": False, "reason": reason_value(reason)}
+            )
 
     def _resolve_conditions(self, blocker_txn: str, committed: bool) -> None:
         waiters = self._conditions.pop(blocker_txn, set())
@@ -581,6 +632,15 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 # Condition failed: back to the normal path with a fresh
                 # read epoch.
                 self.stats["conditions_failed"] += 1
+                obs = self.sim.obs
+                if obs.enabled:
+                    obs.tracer.event(
+                        "condition_failed",
+                        node=self.name,
+                        txn=high.txn,
+                        reason=str(AbortReason.CONDITION_FAILED),
+                        blocker=blocker_txn,
+                    )
                 self.prepared.remove(high.txn)
                 for other in high.condition - {blocker_txn}:
                     others = self._conditions.get(other)

@@ -197,6 +197,8 @@ class Natto(CarouselBasic):
         def on_event(payload: dict, src: str) -> None:
             kind = payload["kind"]
             if kind == "decision":
+                if not payload["committed"]:
+                    client.note_abort(aid, payload.get("reason"))
                 decision.try_set_result(payload["committed"])
             elif kind == "reads":
                 deliver(payload["partition"], payload["values"], payload["epoch"])
@@ -227,7 +229,10 @@ class Natto(CarouselBasic):
                     lambda f, pid=pid: (
                         deliver(pid, f.value["values"], f.value["epoch"])
                         if f.value.get("ok")
-                        else failed.try_set_result(False)
+                        else (
+                            client.note_abort(aid, f.value.get("reason")),
+                            failed.try_set_result(False),
+                        )
                     )
                 )
             result = yield any_of([decision, failed])

@@ -16,6 +16,7 @@ import sys
 import time
 from typing import Callable, Dict
 
+from repro.harness import experiment as experiment_module
 from repro.experiments import (
     ablations,
     figure7,
@@ -68,7 +69,18 @@ def main(argv=None) -> int:
         default=None,
         help="restrict to a subset of systems (paper labels)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="enable tracing and export one .trace.jsonl per run into "
+        "DIR (inspect with python -m repro.trace)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        experiment_module.DEFAULT_TRACING = True
+        experiment_module.TRACE_DIR = args.trace
 
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:

@@ -22,12 +22,15 @@ defaults and the CLI exposes ``--full`` for paper-scale runs.
 from __future__ import annotations
 
 import math
+import os
+import re
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.net.topology import Topology, azure_topology
+from repro.obs.core import Observability
 from repro.systems.base import Cluster, SystemConfig, TransactionSystem
 from repro.systems.client import ClientDriver
 from repro.txn.priority import Priority
@@ -36,6 +39,20 @@ from repro.workloads.base import Workload
 
 SystemFactory = Callable[[], TransactionSystem]
 WorkloadFactory = Callable[[np.random.Generator], Workload]
+
+#: Process-wide default for :attr:`ExperimentSettings.tracing`; the
+#: experiments CLI flips this with ``--trace DIR`` so every run in the
+#: sweep is traced without threading a flag through each figure module.
+DEFAULT_TRACING: bool = False
+
+#: When set (a directory path), every traced run exports its span/event
+#: stream as ``<system>-r<rate>-seed<seed>.trace.jsonl`` under it.
+TRACE_DIR: Optional[str] = None
+
+#: Export-name collision counter: sweeps over a non-rate x-axis reuse
+#: (system, rate, seed), so repeats get a ``.2``, ``.3``, ... suffix
+#: instead of overwriting the earlier point's trace.
+_EXPORT_COUNTS: Dict[str, int] = {}
 
 
 @dataclass(frozen=True)
@@ -50,6 +67,10 @@ class ExperimentSettings:
     probe_warmup: float = 2.0   # delay-estimate warm-up before load
     drain: float = 15.0         # post-load settling time
     seed: int = 0
+    #: Attach an :class:`~repro.obs.core.Observability` to the run's
+    #: simulator (spans, events, metrics).  Defaults to the module-level
+    #: :data:`DEFAULT_TRACING` so the CLI can switch whole sweeps.
+    tracing: bool = field(default_factory=lambda: DEFAULT_TRACING)
 
     def scaled(self, **overrides) -> "ExperimentSettings":
         return replace(self, **overrides)
@@ -66,6 +87,12 @@ class ExperimentResult:
     #: The deployed system object (stores, counters) for post-hoc
     #: inspection; None after serialization.
     system: Optional[TransactionSystem] = None
+    #: The run's observability context when tracing was on (spans,
+    #: events, live metrics); None otherwise.
+    obs: Optional[Observability] = None
+    #: JSON-able metrics/trace-volume snapshot taken at the end of the
+    #: run (survives dropping ``obs``); None when tracing was off.
+    obs_snapshot: Optional[dict] = None
 
     def p95_ms(
         self,
@@ -103,6 +130,7 @@ def run_experiment(
     cluster = Cluster(
         settings.topology_factory(), settings.system_config, settings.seed
     )
+    obs = Observability().attach(cluster.sim) if settings.tracing else None
     system.setup(cluster)
     stats = StatsCollector()
     workload = workload_factory(cluster.streams.stream("workload"))
@@ -135,7 +163,39 @@ def run_experiment(
     cluster.sim.run(until=load_end + settings.drain)
 
     window = (load_start + settings.trim, load_end - settings.trim)
-    return ExperimentResult(system.name, stats, window, input_rate, system)
+    snapshot = None
+    if obs is not None:
+        snapshot = obs.snapshot()
+        if TRACE_DIR is not None:
+            _export_trace(obs, system.name, settings, input_rate)
+    return ExperimentResult(
+        system.name, stats, window, input_rate, system,
+        obs=obs, obs_snapshot=snapshot,
+    )
+
+
+def _export_trace(
+    obs: Observability,
+    system_name: str,
+    settings: ExperimentSettings,
+    input_rate: float,
+) -> None:
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", system_name)
+    os.makedirs(TRACE_DIR, exist_ok=True)
+    base = f"{slug}-r{input_rate:g}-seed{settings.seed}"
+    count = _EXPORT_COUNTS.get(base, 0) + 1
+    _EXPORT_COUNTS[base] = count
+    name = base if count == 1 else f"{base}.{count}"
+    path = os.path.join(TRACE_DIR, f"{name}.trace.jsonl")
+    obs.export_jsonl(
+        path,
+        meta={
+            "system": system_name,
+            "seed": settings.seed,
+            "input_rate": input_rate,
+            "duration": settings.duration,
+        },
+    )
 
 
 @dataclass

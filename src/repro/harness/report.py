@@ -7,6 +7,7 @@ these tables next to the paper's reported numbers.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -16,9 +17,31 @@ def format_ms(value: float) -> str:
     """Format a millisecond value the way the paper quotes them."""
     if value != value:  # NaN
         return "-"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
     if value >= 100:
         return f"{value:.0f}"
     return f"{value:.1f}"
+
+
+def _encode_cell(value: float):
+    """JSON-safe cell: NaN/±inf become tagged strings."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_cell(value) -> float:
+    if value == "NaN":
+        return float("nan")
+    if value == "Infinity":
+        return float("inf")
+    if value == "-Infinity":
+        return float("-inf")
+    return value
 
 
 @dataclass
@@ -74,3 +97,41 @@ class SeriesTable:
     def print(self) -> None:  # noqa: A003 - mirrors the common API shape
         print()
         print(self.render())
+
+    # ------------------------------------------------------------------
+    # Serialization (strict JSON: NaN/±inf are tagged strings)
+
+    def to_json(self) -> str:
+        payload = {
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "unit": self.unit,
+            "series": {
+                name: [_encode_cell(v) for v in values]
+                for name, values in self.series.items()
+            },
+            "errors": {
+                name: [_encode_cell(v) for v in values]
+                for name, values in self.errors.items()
+            },
+        }
+        return json.dumps(payload, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeriesTable":
+        data = json.loads(text)
+        return cls(
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=data["x_values"],
+            unit=data["unit"],
+            series={
+                name: [_decode_cell(v) for v in values]
+                for name, values in data["series"].items()
+            },
+            errors={
+                name: [_decode_cell(v) for v in values]
+                for name, values in data["errors"].items()
+            },
+        )

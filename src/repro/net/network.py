@@ -70,6 +70,17 @@ class _Pipe:
         return self._busy_until - now
 
 
+def _txn_tag(message: Message) -> Optional[str]:
+    """The transaction-attempt id a message belongs to, if tagged.
+
+    Protocol payloads carry ``"txn": "<txn_id>.<attempt>"``; replies and
+    infrastructure traffic (probes, Raft internals) are untagged and get
+    no per-message span — metrics still count them.
+    """
+    txn = message.payload.get("txn")
+    return txn if isinstance(txn, str) else None
+
+
 class Network:
     """The simulated WAN connecting all nodes."""
 
@@ -163,10 +174,20 @@ class Network:
         self.set_drop_filter(None)
 
     def _dispatch(self, message: Message) -> None:
+        obs = self.sim.obs
         if self._drop_filter is not None and self._drop_filter(
             message.src, message.dst
         ):
             self.messages_dropped += 1
+            if obs.enabled:
+                obs.metrics.counter("net.messages_dropped").inc()
+                obs.tracer.event(
+                    "drop",
+                    node=message.src,
+                    txn=_txn_tag(message),
+                    method=message.method,
+                    dst=message.dst,
+                )
             return
         src = self._nodes[message.src]
         dst = self._nodes[message.dst]
@@ -178,6 +199,21 @@ class Network:
             self.sim.now + delay, self._last_arrival.get(pair, 0.0)
         )
         self._last_arrival[pair] = arrival
+        if obs.enabled:
+            obs.metrics.counter("net.messages").inc(method=message.method)
+            obs.metrics.counter("net.bytes").inc(message.wire_size)
+            obs.metrics.histogram("net.delay").observe(
+                arrival - self.sim.now,
+                link=f"{src.datacenter}->{dst.datacenter}",
+            )
+            txn = _txn_tag(message)
+            if txn is not None:
+                obs.tracer.span(
+                    f"net:{message.method}",
+                    node=message.src,
+                    txn=txn,
+                    dst=message.dst,
+                ).finish(at=arrival)
         self.sim.schedule_at(arrival, lambda: self._arrive(message, dst))
 
     def _delivery_delay(self, src: Node, dst: Node, message: Message) -> float:

@@ -1,0 +1,62 @@
+"""The per-run observability context: one tracer + one metrics registry.
+
+An :class:`Observability` object is created per deployment (the harness
+makes one per :class:`~repro.systems.base.Cluster` when
+``ExperimentSettings.tracing`` is on) and attached to the simulator.
+Everything that holds a simulator reference reaches it as ``sim.obs``;
+the simulator's default is :data:`NULL_OBS`, so instrumented call sites
+are always safe to execute and near-free when disabled::
+
+    obs = self.sim.obs
+    if obs.enabled:
+        obs.metrics.counter("net.messages").inc()
+        span = obs.tracer.span("prepare", node=self.name, txn=txn)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class Observability:
+    """Bundle of tracer + metrics sharing one simulated clock."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer() if enabled else NULL_TRACER
+        self.metrics = MetricsRegistry() if enabled else NULL_METRICS
+
+    def attach(self, sim) -> "Observability":
+        """Bind to ``sim``: become ``sim.obs`` and read its clock."""
+        sim.obs = self
+        if self.enabled:
+            clock: Callable[[], float] = lambda: sim.now
+            self.tracer.attach_clock(clock)
+            self.metrics.attach_clock(clock)
+        return self
+
+    # ------------------------------------------------------------------
+    # Snapshots and exports
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus trace volume counts (JSON-able)."""
+        return {
+            "enabled": self.enabled,
+            "spans": len(self.tracer.spans),
+            "events": len(self.tracer.events),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def export_jsonl(self, path: str, meta: Optional[dict] = None) -> None:
+        write_jsonl(self.tracer, path, meta=meta)
+
+    def export_chrome_trace(self, path: str, meta: Optional[dict] = None) -> None:
+        write_chrome_trace(self.tracer, path, meta=meta)
+
+
+#: Shared disabled context; the simulator's default ``obs``.
+NULL_OBS = Observability(enabled=False)

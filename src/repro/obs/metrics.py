@@ -1,0 +1,247 @@
+"""Counters, gauges and simulation-time-windowed histograms.
+
+All instruments read the *simulated* clock (the registry is attached to
+a :class:`~repro.sim.kernel.Simulator` by
+:meth:`repro.obs.core.Observability.attach`), so histogram samples can
+be re-aggregated over any simulated-time window after the run — e.g.
+"p95 append-entries commit latency inside the measurement window".
+
+Zero-dependency by design: percentile math is plain Python, no numpy.
+When observability is disabled the registry is replaced by
+:data:`NULL_METRICS`, whose instruments are shared no-op singletons, so
+guarded call sites cost one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+def _label_key(labels: Dict[str, object]) -> str:
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+class Counter:
+    """A monotonically increasing count, optionally split by labels."""
+
+    __slots__ = ("name", "value", "_labeled")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._labeled: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.value += amount
+        if labels:
+            key = _label_key(labels)
+            self._labeled[key] = self._labeled.get(key, 0.0) + amount
+
+    def labeled(self) -> Dict[str, float]:
+        return dict(self._labeled)
+
+    def snapshot(self) -> dict:
+        out: dict = {"type": "counter", "value": self.value}
+        if self._labeled:
+            out["labels"] = dict(self._labeled)
+        return out
+
+
+class Gauge:
+    """A point-in-time value; remembers its maximum."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Raw-sample histogram with simulation-time windowing.
+
+    Samples are ``(sim_time, value)`` pairs; aggregates (``mean``,
+    ``percentile``) accept an optional ``window=(start, end)`` filtered
+    on the *record* time, mirroring the harness's measurement-window
+    trimming.  Optional labels split samples into sub-series (e.g. one
+    delay series per WAN link).
+    """
+
+    __slots__ = ("name", "_clock", "samples", "_labeled")
+
+    def __init__(
+        self, name: str, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self.samples: List[Tuple[float, float]] = []
+        self._labeled: Dict[str, List[Tuple[float, float]]] = {}
+
+    def observe(self, value: float, at: Optional[float] = None, **labels) -> None:
+        t = self._clock() if at is None else at
+        self.samples.append((t, value))
+        if labels:
+            self._labeled.setdefault(_label_key(labels), []).append((t, value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def _selected(self, window: Optional[tuple], label: Optional[str]) -> List[float]:
+        samples = self._labeled.get(label, []) if label else self.samples
+        if window is None:
+            return [v for _, v in samples]
+        start, end = window
+        return [v for t, v in samples if start <= t < end]
+
+    def mean(self, window: Optional[tuple] = None, label: Optional[str] = None) -> float:
+        values = self._selected(window, label)
+        return sum(values) / len(values) if values else float("nan")
+
+    def percentile(
+        self, q: float, window: Optional[tuple] = None, label: Optional[str] = None
+    ) -> float:
+        return _percentile(sorted(self._selected(window, label)), q)
+
+    def labels(self) -> List[str]:
+        return sorted(self._labeled)
+
+    def snapshot(self) -> dict:
+        values = sorted(v for _, v in self.samples)
+        out: dict = {
+            "type": "histogram",
+            "count": len(values),
+            "mean": (sum(values) / len(values)) if values else float("nan"),
+            "p50": _percentile(values, 50.0),
+            "p95": _percentile(values, 95.0),
+            "p99": _percentile(values, 99.0),
+            "max": values[-1] if values else float("nan"),
+        }
+        if self._labeled:
+            out["labels"] = {
+                label: len(samples) for label, samples in self._labeled.items()
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments of one run."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.enabled = True
+        self._clock = clock or (lambda: 0.0)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def attach_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        for histogram in self._histograms.values():
+            histogram._clock = clock
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, self._clock)
+        return histogram
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able view of every instrument, sorted by name."""
+        out: Dict[str, dict] = {}
+        for store in (self._counters, self._gauges, self._histograms):
+            for name in sorted(store):
+                out[name] = store[name].snapshot()
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    max_value = 0.0
+    count = 0
+    samples: List[Tuple[float, float]] = []
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, at: Optional[float] = None, **labels) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def attach_clock(self, clock) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()

@@ -122,6 +122,31 @@ class RaftReplica(Node):
         index = self.log.append(LogEntry(self.current_term, payload))
         future = Future()
         self._commit_futures[index] = future
+        obs = self.sim.obs
+        if obs.enabled:
+            # Payloads are ("<kind>", "<txn attempt id>", ...) tuples.
+            kind = str(payload[0]) if isinstance(payload, tuple) and payload else "?"
+            txn = (
+                payload[1]
+                if isinstance(payload, tuple)
+                and len(payload) > 1
+                and isinstance(payload[1], str)
+                else None
+            )
+            obs.metrics.counter("raft.appends").inc(kind=kind)
+            span = obs.tracer.span(
+                "raft:replicate", node=self.name, txn=txn, kind=kind, index=index
+            )
+            latency = obs.metrics.histogram("raft.commit_latency")
+            started = self.sim.now
+
+            def _committed(_f, kind=kind) -> None:
+                span.finish()
+                latency.observe(self.sim.now - started, kind=kind)
+
+            # Registered before any chance of resolution so the no-peer
+            # immediate-commit path still records (fires synchronously).
+            future.add_done_callback(_committed)
         if not self.peers:
             self._advance_commit()
         else:

@@ -8,9 +8,15 @@ Design notes
   turn makes every experiment bit-reproducible for a fixed seed.
 * Cancellation is lazy: a cancelled :class:`Timer` stays in the heap and
   is skipped when popped.  This keeps ``schedule`` and ``cancel`` O(log n)
-  and O(1) respectively.
+  and O(1) respectively.  The kernel counts cancelled-but-still-heaped
+  entries and compacts the heap once they outnumber the live ones, so
+  workloads that cancel most of their timers (retry timeouts, lease
+  guards) don't grow the heap without bound.
 * Time is a float in **seconds**.  All delay models and protocol
   parameters use seconds; reporting code converts to milliseconds.
+* ``sim.obs`` is the run's :class:`~repro.obs.core.Observability` bundle
+  (default: the disabled :data:`~repro.obs.core.NULL_OBS`); instrumented
+  components guard on ``sim.obs.enabled``.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.obs.core import NULL_OBS, Observability
 from repro.sim.future import Future
 
 
@@ -28,17 +35,35 @@ class SimulationError(Exception):
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("deadline", "_callback", "_cancelled")
+    # ``_sim`` doubles as the in-heap marker: the kernel nulls it when
+    # the entry leaves the heap, so a late ``cancel`` doesn't disturb
+    # the cancelled-entry count.
+    __slots__ = ("deadline", "_callback", "_cancelled", "_sim")
 
-    def __init__(self, deadline: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        deadline: float,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.deadline = deadline
         self._callback = callback
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self._callback = _noop
+        sim = self._sim
+        if sim is not None:
+            # Inlined Simulator._note_cancelled: cancel is hot enough
+            # that the extra method call shows up in benchmarks.
+            sim._cancelled_in_heap += 1
+            if sim._cancelled_in_heap * 2 > len(sim._heap) >= 64:
+                sim._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -68,6 +93,8 @@ class Simulator:
         self._sequence = 0
         self._heap: List[Any] = []
         self._stopped = False
+        self._cancelled_in_heap = 0
+        self.obs: Observability = NULL_OBS
 
     @property
     def now(self) -> float:
@@ -76,7 +103,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of live (non-cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included."""
         return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
@@ -91,7 +123,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} (now is {self._now})"
             )
-        timer = Timer(when, callback)
+        timer = Timer(when, callback, self)
         self._sequence += 1
         heapq.heappush(self._heap, (when, self._sequence, timer))
         return timer
@@ -113,6 +145,22 @@ class Simulator:
         """Make the current ``run`` call return after the current event."""
         self._stopped = True
 
+    #: Below this heap size lazy skipping beats rebuilding: pops clear
+    #: cancelled entries quickly and compaction would thrash.  Keep in
+    #: sync with the literal in :meth:`Timer.cancel`, where the check is
+    #: inlined for speed.
+    _COMPACT_MIN_HEAP = 64
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Deterministic: (deadline, sequence) keys are unique, so heapify
+        yields the same pop order the lazy skip would have.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     def run(self, until: Optional[float] = None) -> None:
         """Process events in deadline order.
 
@@ -122,14 +170,42 @@ class Simulator:
         the loop drains the heap.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            deadline, _, timer = self._heap[0]
+        if self.obs.enabled:
+            self._run_instrumented(until)
+            return
+        heap = self._heap
+        while heap and not self._stopped:
+            deadline, _, timer = heap[0]
             if until is not None and deadline > until:
                 break
-            heapq.heappop(self._heap)
-            if timer.cancelled:
+            heapq.heappop(heap)
+            if timer._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            timer._sim = None
             self._now = deadline
+            timer._fire()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """The ``run`` loop plus kernel metrics (tracing enabled)."""
+        obs = self.obs
+        fired = obs.metrics.counter("sim.events_fired")
+        depth = obs.metrics.gauge("sim.heap_depth")
+        heap = self._heap
+        while heap and not self._stopped:
+            deadline, _, timer = heap[0]
+            if until is not None and deadline > until:
+                break
+            heapq.heappop(heap)
+            if timer._cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            timer._sim = None
+            self._now = deadline
+            fired.inc()
+            depth.set(self.pending_events)
             timer._fire()
         if until is not None and self._now < until:
             self._now = until

@@ -120,14 +120,15 @@ class CarouselBasic(TransactionSystem):
         writes_by_pid = self.cluster.partitioner.group_keys(spec.write_keys)
 
         decision = Future()
-        client.register_attempt(
-            aid,
-            lambda payload, src: (
-                decision.try_set_result(payload["committed"])
-                if payload["kind"] == "decision"
-                else None
-            ),
-        )
+
+        def on_event(payload: dict, src: str) -> None:
+            if payload["kind"] != "decision":
+                return
+            if not payload["committed"]:
+                client.note_abort(aid, payload.get("reason"))
+            decision.try_set_result(payload["committed"])
+
+        client.register_attempt(aid, on_event)
         try:
             replies = yield all_of(
                 [
@@ -150,6 +151,10 @@ class CarouselBasic(TransactionSystem):
             if not all(reply["ok"] for reply in replies):
                 # Some participant refused to prepare; its no-vote drives
                 # the coordinator's abort + cleanup.  Retry immediately.
+                for reply in replies:
+                    if not reply["ok"]:
+                        client.note_abort(aid, reply.get("reason"))
+                        break
                 return False
             read_results: Dict[str, str] = {}
             for reply in replies:

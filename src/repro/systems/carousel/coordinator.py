@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.cluster.partition import Partitioner
 from repro.net.probing import ProbeTargetMixin
+from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
 
 
@@ -39,6 +40,8 @@ class CoordinatedTxn:
     writes_replicated: bool = False
     skip_prepare_wait: bool = False  # Carousel Fast's unanimous fast path
     decided: Optional[bool] = None
+    #: Why the abort decision was taken (AbortReason value), if aborted.
+    abort_reason: Optional[str] = None
 
 
 class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
@@ -87,6 +90,7 @@ class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
         state.client = payload["client"]
         state.participants = payload["participants"]
         if state.decided is None:
+            state.abort_reason = str(AbortReason.VOLUNTARY)
             self._decide(state, False)
 
     def _writes_durable(self, state: CoordinatedTxn) -> None:
@@ -105,6 +109,7 @@ class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
         if state.decided is not None:
             return
         if payload["vote"] == "no":
+            state.abort_reason = payload.get("reason")
             self._decide(state, False)
             return
         state.votes[payload["partition"]] = "yes"
@@ -133,13 +138,27 @@ class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
 
     def _decide(self, state: CoordinatedTxn, committed: bool) -> None:
         state.decided = committed
-        if state.client is not None:
-            self._network.send(
-                self,
-                state.client,
-                "txn_event",
-                {"txn": state.txn, "kind": "decision", "committed": committed},
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter("coord.decisions").inc(
+                committed=committed, node=self.name
             )
+            if not committed:
+                obs.tracer.event(
+                    "decision_abort",
+                    node=self.name,
+                    txn=state.txn,
+                    reason=reason_value(state.abort_reason),
+                )
+        if state.client is not None:
+            event = {
+                "txn": state.txn,
+                "kind": "decision",
+                "committed": committed,
+            }
+            if not committed and state.abort_reason is not None:
+                event["reason"] = state.abort_reason
+            self._network.send(self, state.client, "txn_event", event)
         writes = state.writes or {}
         by_partition = (
             self.partitioner.group_keys(writes) if self.partitioner else {}
@@ -148,15 +167,15 @@ class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
             slice_writes = {
                 key: writes[key] for key in by_partition.get(pid, [])
             }
+            outcome = {
+                "txn": state.txn,
+                "decision": committed,
+                "writes": slice_writes if committed else None,
+            }
+            if not committed and state.abort_reason is not None:
+                outcome["reason"] = state.abort_reason
             self._network.send(
-                self,
-                self.leader_names[pid],
-                "commit_txn",
-                {
-                    "txn": state.txn,
-                    "decision": committed,
-                    "writes": slice_writes if committed else None,
-                },
+                self, self.leader_names[pid], "commit_txn", outcome
             )
         self._on_decided(state)
 

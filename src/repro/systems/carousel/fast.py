@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List
 
+from repro.obs.abort import AbortReason
 from repro.sim import Future, all_of
 from repro.systems.base import attempt_id
 from repro.systems.carousel.basic import CarouselBasic
@@ -50,13 +51,13 @@ class FastParticipant(CarouselParticipant):
         txn = payload["txn"]
         if txn in self._fast_tombstones:
             self._fast_tombstones.discard(txn)
-            return {"ok": False}
+            return self._refusal(txn, AbortReason.PREEMPTED)
         self._replica_seen.add(txn)
         reads = payload["reads"]
         writes = payload["writes"]
         if not self.prepared.is_free(reads, writes):
             self.prepares_refused += 1
-            return {"ok": False}
+            return self._refusal(txn, AbortReason.OCC_CONFLICT)
         self.prepares_ok += 1
         self.prepared.add(txn, reads, writes)
         values = {key: self.store.read(key).value for key in reads}
@@ -139,14 +140,15 @@ class CarouselFast(CarouselBasic):
         writes_by_pid = self.cluster.partitioner.group_keys(spec.write_keys)
 
         decision = Future()
-        client.register_attempt(
-            aid,
-            lambda payload, src: (
-                decision.try_set_result(payload["committed"])
-                if payload["kind"] == "decision"
-                else None
-            ),
-        )
+
+        def on_event(payload: dict, src: str) -> None:
+            if payload["kind"] != "decision":
+                return
+            if not payload["committed"]:
+                client.note_abort(aid, payload.get("reason"))
+            decision.try_set_result(payload["committed"])
+
+        client.register_attempt(aid, on_event)
         try:
             calls = []
             call_meta = []  # (partition, is_leader)
@@ -187,6 +189,10 @@ class CarouselFast(CarouselBasic):
                 # A leader refused: abort (its no-vote triggers cleanup);
                 # follower marks are cleared by the coordinator's
                 # fast_outcome fan-out when it decides the abort.
+                for (pid, is_leader), reply in zip(call_meta, replies):
+                    if is_leader and not reply["ok"]:
+                        client.note_abort(aid, reply.get("reason"))
+                        break
                 return False
             writes = spec.make_writes(leader_values)
             if writes is None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.net.probing import ProbeTargetMixin
+from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
 from repro.store.kv import KeyValueStore
 from repro.store.occ import PreparedSet
@@ -43,8 +44,9 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
         # An abort decision travels coordinator->participant while the
         # read-and-prepare travels client->participant; with network
         # jitter the abort can win the race.  Tombstones refuse a
-        # request that arrives after its own abort.
-        self._abort_tombstones: set = set()
+        # request that arrives after its own abort, remembering why the
+        # transaction was aborted so the refusal stays classified.
+        self._abort_tombstones: Dict[str, Optional[str]] = {}
         self._rap_seen: set = set()
         # Counters for tests and reports.
         self.prepares_ok = 0
@@ -56,15 +58,15 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
     def handle_read_and_prepare(self, payload: dict, src: str) -> dict:
         txn = payload["txn"]
         if txn in self._abort_tombstones:
-            self._abort_tombstones.discard(txn)
-            return {"ok": False}
+            reason = self._abort_tombstones.pop(txn)
+            return self._refusal(txn, reason)
         self._rap_seen.add(txn)
         reads = payload["reads"]
         writes = payload["writes"]
         if not self.prepared.is_free(reads, writes):
             self.prepares_refused += 1
-            self._vote(payload, "no")
-            return {"ok": False}
+            self._vote(payload, "no", reason=AbortReason.OCC_CONFLICT)
+            return self._refusal(txn, AbortReason.OCC_CONFLICT)
         self.prepares_ok += 1
         self.prepared.add(txn, reads, writes)
         self.txn_meta[txn] = {
@@ -78,7 +80,14 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
         )
         return {"ok": True, "values": values}
 
-    def _vote(self, payload: dict, vote: str) -> None:
+    def _refusal(self, txn: str, reason) -> dict:
+        """A classified ``ok: False`` reply (plus trace bookkeeping)."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.refuse(reason, node=self.name, txn=txn)
+        return {"ok": False, "reason": reason_value(reason)}
+
+    def _vote(self, payload: dict, vote: str, reason=None) -> None:
         self._network.send(
             self,
             payload["coordinator"],
@@ -89,6 +98,7 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
                 "vote": vote,
                 "participants": payload["participants"],
                 "client": payload["client"],
+                "reason": reason_value(reason) if reason is not None else None,
             },
         )
 
@@ -103,7 +113,7 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
         txn = payload["txn"]
         if not payload["decision"]:
             if txn not in self.prepared and txn not in self._rap_seen:
-                self._abort_tombstones.add(txn)
+                self._abort_tombstones[txn] = payload.get("reason")
             self.release(txn)
             return
         writes = payload.get("writes") or {}

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Generator, Optional
 
 from repro.cluster.node import Node
 from repro.net.network import Network
+from repro.obs.abort import reason_value
 from repro.sim import Simulator
 from repro.txn.stats import StatsCollector, TxnOutcome, TxnRecord
 from repro.txn.transaction import TransactionSpec
@@ -51,6 +52,8 @@ class ClientDriver(Node):
         self.max_retries = max_retries
         self._event_handlers: Dict[str, Callable[[dict, str], None]] = {}
         self.txn_start_times: Dict[str, float] = {}
+        #: attempt id -> first abort reason reported (see note_abort).
+        self._abort_reasons: Dict[str, str] = {}
         self.inflight = 0
         network.register(self)
         system.on_client_created(self)
@@ -101,19 +104,55 @@ class ClientDriver(Node):
         return self.sim.spawn(self._run(spec))
 
     def _run(self, spec: TransactionSpec) -> Generator:
+        from repro.systems.base import attempt_id
+
         start = self.sim.now
         self.inflight += 1
         # Systems that need a retry-stable age (wound-wait) read this.
         self.txn_start_times[spec.txn_id] = start
+        obs = self.sim.obs
+        root = None
+        if obs.enabled:
+            root = obs.tracer.span(
+                "txn",
+                node=self.name,
+                txn=spec.txn_id,
+                priority=spec.priority.name,
+                txn_type=spec.txn_type,
+            )
         attempt = 0
         committed = False
+        abort_reasons = []
         while True:
+            aid = attempt_id(spec, attempt)
+            attempt_span = None
+            if obs.enabled:
+                attempt_span = obs.tracer.span(
+                    "attempt", node=self.name, txn=aid, parent=root
+                )
             committed = yield from self.system.execute(self, spec, attempt)
+            reason = self._abort_reasons.pop(aid, None)
+            if attempt_span is not None:
+                attempt_span.set(committed=committed)
+                attempt_span.finish()
+            if not committed:
+                # The client is the single authority for attempt-level
+                # abort accounting: one reason per failed attempt,
+                # UNKNOWN when no site classified it.
+                abort_reasons.append(reason_value(reason))
+                if obs.enabled:
+                    obs.tracer.abort(reason, node=self.name, txn=aid)
             if committed or attempt >= self.max_retries:
                 break
             attempt += 1
         self.txn_start_times.pop(spec.txn_id, None)
         self.inflight -= 1
+        if root is not None:
+            root.set(
+                outcome="committed" if committed else "failed",
+                retries=attempt,
+            )
+            root.finish()
         self.stats.add(
             TxnRecord(
                 txn_id=spec.txn_id,
@@ -125,9 +164,20 @@ class ClientDriver(Node):
                 outcome=(
                     TxnOutcome.COMMITTED if committed else TxnOutcome.FAILED
                 ),
+                abort_reasons=tuple(abort_reasons),
             )
         )
         return committed
+
+    def note_abort(self, attempt_id: str, reason) -> None:
+        """Record why an attempt aborted; the first reported cause wins.
+
+        Systems call this from wherever they learn the reason (a refusal
+        reply, a no-vote-driven decision event, a wound).  The driver
+        consumes the entry when the attempt finishes.
+        """
+        if reason is not None and attempt_id not in self._abort_reasons:
+            self._abort_reasons[attempt_id] = reason_value(reason)
 
     # ------------------------------------------------------------------
     # Asynchronous per-attempt events

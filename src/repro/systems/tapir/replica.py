@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.cluster.node import Node
+from repro.obs.abort import AbortReason
 from repro.store.kv import KeyValueStore
 from repro.store.occ import PreparedSet
 
@@ -52,13 +53,19 @@ class TapirReplica(Node):
         for key, version in read_versions.items():
             if self.store.version_of(key) != version:
                 self.prepare_abort_count += 1
-                return {"vote": "abort"}
+                return self._abort_vote(txn, AbortReason.STALE_READ)
         if not self.prepared.is_free(reads, writes):
             self.prepare_abort_count += 1
-            return {"vote": "abort"}
+            return self._abort_vote(txn, AbortReason.OCC_CONFLICT)
         self.prepared.add(txn, reads, writes)
         self.prepare_ok_count += 1
         return {"vote": "ok"}
+
+    def _abort_vote(self, txn: str, reason: AbortReason) -> dict:
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.refuse(reason, node=self.name, txn=txn)
+        return {"vote": "abort", "reason": str(reason)}
 
     def handle_tapir_finalize(self, payload: dict, src: str) -> dict:
         """Slow path: the client's majority decision is installed."""

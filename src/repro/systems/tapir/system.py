@@ -127,8 +127,11 @@ class Tapir(TransactionSystem):
         replies = yield all_of(prepare_calls)
 
         votes_by_pid: Dict[int, List[str]] = {pid: [] for pid in participants}
+        abort_reason = None
         for pid, reply in zip(call_pids, replies):
             votes_by_pid[pid].append(reply["vote"])
+            if reply["vote"] == "abort" and abort_reason is None:
+                abort_reason = reply.get("reason")
 
         decisions: Dict[int, str] = {}
         slow_path_pids = []
@@ -141,6 +144,8 @@ class Tapir(TransactionSystem):
                 slow_path_pids.append(pid)  # majority ok: finalize
             else:
                 decisions[pid] = "abort"
+        if any(d == "abort" for d in decisions.values()):
+            client.note_abort(aid, abort_reason)
 
         if slow_path_pids and all(d == "ok" for d in decisions.values()):
             # Slow path starts immediately; wait for majority acks.

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Set
 
 from repro.net.probing import ProbeTargetMixin
+from repro.obs.abort import AbortReason
 from repro.raft.node import RaftReplica
 from repro.sim import Future
 from repro.store.kv import KeyValueStore
@@ -68,6 +69,11 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
             "reads": reads,
             "reply": reply,
         }
+        obs = self.sim.obs
+        if obs.enabled:
+            self.txn_meta[txn]["lock_span"] = obs.tracer.span(
+                "lock_wait", node=self.name, txn=txn
+            )
         request = LockRequest(
             txn_id=txn,
             key_modes=key_modes,
@@ -82,6 +88,9 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
         meta = self.txn_meta.get(txn)
         if meta is None:
             return  # released (wounded) before the grant landed
+        span = meta.pop("lock_span", None)
+        if span is not None:
+            span.finish()
         values = {key: self.store.read(key).value for key in meta["reads"]}
         if not meta["reply"].done:
             meta["reply"].set_result({"ok": True, "values": values})
@@ -101,9 +110,19 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
             infos.append(
                 BlockerInfo(blocker, meta["timestamp"], meta["priority"])
             )
+        obs = self.sim.obs
         for victim in self.policy.victims(request, infos, self.locks):
             self._wounded.add(victim)
             self.wounds_sent += 1
+            if obs.enabled:
+                obs.metrics.counter("twopl.wounds").inc()
+                obs.tracer.event(
+                    "wound",
+                    node=self.name,
+                    txn=victim,
+                    by=txn,
+                    reason=str(AbortReason.PREEMPTED),
+                )
             victim_meta = self.txn_meta[victim]
             self._network.send(
                 self,
@@ -116,8 +135,15 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
         """Victim client gave up this attempt; free everything here."""
         txn = payload["txn"]
         meta = self.txn_meta.pop(txn, None)
-        if meta is not None and not meta["reply"].done:
-            meta["reply"].set_result({"ok": False})
+        if meta is not None:
+            span = meta.pop("lock_span", None)
+            if span is not None:
+                span.set(outcome="released")
+                span.finish()
+            if not meta["reply"].done:
+                meta["reply"].set_result(
+                    {"ok": False, "reason": str(AbortReason.PREEMPTED)}
+                )
         self._wounded.discard(txn)
         self.pending_writes.pop(txn, None)
         self.locks.release(txn)
@@ -131,6 +157,11 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
         if meta is None:
             # The transaction released (wound raced the prepare); tell
             # the coordinator no so the attempt aborts cleanly.
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.tracer.refuse(
+                    AbortReason.PREEMPTED, node=self.name, txn=txn
+                )
             self._network.send(
                 self,
                 payload["coordinator"],
@@ -141,6 +172,7 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
                     "vote": "no",
                     "participants": payload["participants"],
                     "client": payload["client"],
+                    "reason": str(AbortReason.PREEMPTED),
                 },
             )
             return

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator
 
+from repro.obs.abort import AbortReason
 from repro.sim import Future, all_of, any_of
 from repro.store.kv import KeyValueStore
 from repro.systems.base import Cluster, TransactionSystem, attempt_id
@@ -108,8 +109,11 @@ class TwoPL(TransactionSystem):
 
         def on_event(payload: dict, src: str) -> None:
             if payload["kind"] == "wound":
+                client.note_abort(aid, AbortReason.PREEMPTED)
                 wounded.try_set_result(True)
             elif payload["kind"] == "decision":
+                if not payload["committed"]:
+                    client.note_abort(aid, payload.get("reason"))
                 decision.try_set_result(payload["committed"])
 
         client.register_attempt(aid, on_event)
@@ -140,6 +144,11 @@ class TwoPL(TransactionSystem):
                 isinstance(outcome, list)
                 and not all(r["ok"] for r in outcome)
             ):
+                if not wounded.done and isinstance(outcome, list):
+                    for reply in outcome:
+                        if not reply["ok"]:
+                            client.note_abort(aid, reply.get("reason"))
+                            break
                 self._release_everywhere(client, aid, participants)
                 return False
             read_values: Dict[str, str] = {}

@@ -1,0 +1,15 @@
+"""``python -m repro.trace`` — inspect traces exported by the harness.
+
+Examples::
+
+    python -m repro.trace summary traces/run.trace.jsonl
+    python -m repro.trace critical-path traces/run.trace.jsonl --txn client-X-0-42
+    python -m repro.trace chrome traces/run.trace.jsonl -o run.chrome.json
+
+See :mod:`repro.obs.cli` for the implementation.
+"""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,10 @@ The paper's measurement rules, implemented here:
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +39,10 @@ class TxnRecord:
     end: float
     retries: int
     outcome: TxnOutcome
+    #: Abort reason of each failed attempt, in attempt order (strings
+    #: from :class:`repro.obs.abort.AbortReason`); empty when the first
+    #: attempt committed.
+    abort_reasons: tuple = ()
 
     @property
     def latency(self) -> float:
@@ -48,16 +54,45 @@ class TxnRecord:
 
 
 class StatsCollector:
-    """Accumulates records during a run; answers the paper's questions."""
+    """Accumulates records during a run; answers the paper's questions.
+
+    Committed records are bucketed by ``(priority, txn_type)`` as they
+    arrive, each bucket kept sorted by start time (lazily — records
+    finish out of start order), so the selection queries the figures
+    hammer are a dict lookup plus a binary search on the window instead
+    of a scan over every record.
+    """
+
+    _Key = Tuple[Priority, str]
 
     def __init__(self) -> None:
         self.records: List[TxnRecord] = []
+        self._committed: Dict[StatsCollector._Key, List[TxnRecord]] = {}
+        self._starts: Dict[StatsCollector._Key, List[float]] = {}
+        self._dirty: Set[StatsCollector._Key] = set()
 
     def add(self, record: TxnRecord) -> None:
         self.records.append(record)
+        if not record.committed:
+            return
+        key = (record.priority, record.txn_type)
+        bucket = self._committed.setdefault(key, [])
+        starts = self._starts.setdefault(key, [])
+        if bucket and record.start < bucket[-1].start:
+            self._dirty.add(key)
+        bucket.append(record)
+        starts.append(record.start)
 
     # ------------------------------------------------------------------
     # Selection
+
+    def _bucket(self, key: "StatsCollector._Key") -> List[TxnRecord]:
+        if key in self._dirty:
+            bucket = sorted(self._committed[key], key=lambda r: r.start)
+            self._committed[key] = bucket
+            self._starts[key] = [r.start for r in bucket]
+            self._dirty.discard(key)
+        return self._committed[key]
 
     def committed(
         self,
@@ -65,19 +100,22 @@ class StatsCollector:
         window: Optional[tuple] = None,
         txn_type: Optional[str] = None,
     ) -> List[TxnRecord]:
-        out = []
-        for record in self.records:
-            if not record.committed:
-                continue
-            if priority is not None and record.priority is not priority:
-                continue
-            if txn_type is not None and record.txn_type != txn_type:
-                continue
-            if window is not None and not (
-                window[0] <= record.start < window[1]
-            ):
-                continue
-            out.append(record)
+        keys = [
+            key
+            for key in self._committed
+            if (priority is None or key[0] is priority)
+            and (txn_type is None or key[1] == txn_type)
+        ]
+        out: List[TxnRecord] = []
+        for key in sorted(keys, key=lambda k: (int(k[0]), k[1])):
+            bucket = self._bucket(key)
+            if window is None:
+                out.extend(bucket)
+            else:
+                starts = self._starts[key]
+                lo = bisect_left(starts, window[0])
+                hi = bisect_left(starts, window[1])
+                out.extend(bucket[lo:hi])
         return out
 
     # ------------------------------------------------------------------
@@ -111,14 +149,48 @@ class StatsCollector:
         span = window[1] - window[0]
         return count / span if span > 0 else float("nan")
 
-    def abort_summary(self) -> Dict[str, float]:
+    def abort_summary(self) -> Dict[str, object]:
+        """Overall and per-priority/per-reason abort accounting.
+
+        Top-level keys keep their historical meaning; ``by_priority``
+        breaks the same numbers (plus a per-reason attempt counter)
+        down by transaction priority, and ``by_reason`` counts aborted
+        *attempts* per :class:`~repro.obs.abort.AbortReason` value.
+        """
         total = len(self.records)
         if total == 0:
-            return {"transactions": 0, "failed": 0, "mean_retries": 0.0}
+            return {
+                "transactions": 0,
+                "failed": 0,
+                "mean_retries": 0.0,
+                "by_priority": {},
+                "by_reason": {},
+            }
         failed = sum(1 for r in self.records if not r.committed)
         mean_retries = float(np.mean([r.retries for r in self.records]))
+        by_reason: Counter = Counter()
+        per_priority: Dict[Priority, List[TxnRecord]] = {}
+        for record in self.records:
+            per_priority.setdefault(record.priority, []).append(record)
+            by_reason.update(record.abort_reasons)
+        by_priority: Dict[str, dict] = {}
+        for priority in sorted(per_priority, key=int):
+            records = per_priority[priority]
+            reasons: Counter = Counter()
+            for record in records:
+                reasons.update(record.abort_reasons)
+            by_priority[priority.name] = {
+                "transactions": len(records),
+                "failed": sum(1 for r in records if not r.committed),
+                "mean_retries": float(
+                    np.mean([r.retries for r in records])
+                ),
+                "by_reason": dict(reasons),
+            }
         return {
             "transactions": total,
             "failed": failed,
             "mean_retries": mean_retries,
+            "by_priority": by_priority,
+            "by_reason": dict(by_reason),
         }

@@ -1,0 +1,71 @@
+"""format_ms edge cases and SeriesTable JSON round-trips."""
+
+import json
+import math
+
+from repro.harness.report import SeriesTable, format_ms
+
+
+def test_format_ms_regular_values():
+    assert format_ms(float("nan")) == "-"
+    assert format_ms(42.25) == "42.2"
+    assert format_ms(250.0) == "250"
+
+
+def test_format_ms_infinity():
+    assert format_ms(float("inf")) == "inf"
+    assert format_ms(float("-inf")) == "-inf"
+
+
+def test_render_with_infinite_cell_does_not_crash():
+    table = SeriesTable("t", "x", [1, 2])
+    table.add_point("sys", float("inf"))
+    table.add_point("sys", 5.0)
+    rendered = table.render()
+    assert "inf" in rendered
+
+
+def _example_table():
+    table = SeriesTable(
+        "Figure X — p95", "rate", [50, 100, 200], unit="ms"
+    )
+    table.add_point("Natto-RECSF", 120.5, 3.0)
+    table.add_point("Natto-RECSF", float("nan"))
+    table.add_point("Natto-RECSF", float("inf"), float("nan"))
+    table.add_point("TAPIR", 99.0)
+    return table
+
+
+def test_to_json_is_strict_json():
+    text = _example_table().to_json()
+    # Strict parsers reject bare NaN/Infinity tokens; ours must not
+    # emit them.
+    data = json.loads(text, parse_constant=lambda _: pytest_fail())
+    assert data["title"] == "Figure X — p95"
+
+
+def pytest_fail():  # pragma: no cover - only hit on regression
+    raise AssertionError("non-strict JSON constant emitted")
+
+
+def test_round_trip_preserves_everything():
+    original = _example_table()
+    restored = SeriesTable.from_json(original.to_json())
+    assert restored.title == original.title
+    assert restored.x_label == original.x_label
+    assert list(restored.x_values) == list(original.x_values)
+    assert restored.unit == original.unit
+    assert set(restored.series) == {"Natto-RECSF", "TAPIR"}
+    natto = restored.series["Natto-RECSF"]
+    assert natto[0] == 120.5
+    assert math.isnan(natto[1])
+    assert math.isinf(natto[2]) and natto[2] > 0
+    errs = restored.errors["Natto-RECSF"]
+    assert errs[0] == 3.0
+    assert math.isnan(errs[1])
+
+
+def test_round_trip_renders_identically():
+    original = _example_table()
+    restored = SeriesTable.from_json(original.to_json())
+    assert restored.render() == original.render()

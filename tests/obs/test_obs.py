@@ -1,0 +1,230 @@
+"""Unit tests for the tracer, metrics registry and exporters."""
+
+import json
+import math
+
+from repro.obs import (
+    NULL_OBS,
+    AbortReason,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    reason_value,
+)
+from repro.obs.export import (
+    chrome_trace,
+    parse_jsonl_lines,
+    jsonl_lines,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# Metrics
+
+
+def test_counter_totals_and_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("net.messages")
+    counter.inc()
+    counter.inc(2.0, method="vote")
+    counter.inc(method="vote")
+    assert counter.value == 4.0
+    assert counter.labeled() == {"method=vote": 3.0}
+    assert registry.counter("net.messages") is counter
+
+
+def test_gauge_tracks_max():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(3.0)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value == 2.0
+    assert gauge.max_value == 4.0
+
+
+def test_histogram_windows_on_sim_time():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    histogram.observe(10.0, at=1.0)
+    histogram.observe(20.0, at=5.0)
+    histogram.observe(30.0, at=9.0)
+    assert histogram.count == 3
+    assert histogram.mean() == 20.0
+    assert histogram.mean(window=(4.0, 10.0)) == 25.0
+    assert math.isnan(histogram.mean(window=(100.0, 200.0)))
+
+
+def test_histogram_labels_split_series():
+    histogram = MetricsRegistry().histogram("delay")
+    histogram.observe(1.0, at=0.0, link="a->b")
+    histogram.observe(9.0, at=0.0, link="b->a")
+    assert histogram.labels() == ["link=a->b", "link=b->a"]
+    assert histogram.mean(label="link=a->b") == 1.0
+
+
+def test_registry_snapshot_is_jsonable():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(2.0)
+    registry.histogram("h").observe(1.0, at=0.0)
+    snapshot = registry.snapshot()
+    assert snapshot["c"]["value"] == 1.0
+    assert snapshot["g"]["max"] == 2.0
+    assert snapshot["h"]["count"] == 1
+    json.dumps(snapshot)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Tracer
+
+
+def test_span_tree_and_clock():
+    tracer = Tracer()
+    now = [0.0]
+    tracer.attach_clock(lambda: now[0])
+    root = tracer.span("txn", node="client", txn="t1")
+    now[0] = 1.0
+    child = tracer.span("attempt", node="client", txn="t1.0", parent=root)
+    now[0] = 3.5
+    child.finish()
+    root.finish()
+    assert child.parent_id == root.span_id
+    assert child.start == 1.0 and child.end == 3.5
+    assert root.end == 3.5
+
+
+def test_span_accepts_raw_parent_id():
+    tracer = Tracer()
+    span = tracer.span("child", parent=17)
+    assert span.parent_id == 17
+
+
+def test_abort_and_refuse_events_carry_reasons():
+    tracer = Tracer()
+    tracer.abort(AbortReason.PREEMPTED, node="client", txn="t1.0")
+    tracer.refuse("OCC_CONFLICT", node="p0", txn="t1.0")
+    tracer.abort(None, node="client", txn="t1.1")
+    reasons = [e.attrs["reason"] for e in tracer.events]
+    assert reasons == ["PREEMPTED", "OCC_CONFLICT", "UNKNOWN"]
+
+
+def test_reason_value_normalizes():
+    assert reason_value(AbortReason.LOCK_CONFLICT) == "LOCK_CONFLICT"
+    assert reason_value("STALE_READ") == "STALE_READ"
+    assert reason_value(None) == "UNKNOWN"
+
+
+# ----------------------------------------------------------------------
+# Null objects and attachment
+
+
+def test_null_obs_is_inert():
+    assert not NULL_OBS.enabled
+    span = NULL_OBS.tracer.span("anything", node="n", txn="t")
+    span.set(foo=1).finish()
+    NULL_OBS.tracer.abort("X", txn="t")
+    NULL_OBS.metrics.counter("c").inc()
+    NULL_OBS.metrics.histogram("h").observe(1.0)
+    assert NULL_OBS.metrics.snapshot() == {}
+    assert NULL_OBS.tracer.spans == []
+
+
+def test_simulator_defaults_to_null_obs():
+    assert Simulator().obs is NULL_OBS
+
+
+def test_attach_binds_sim_clock():
+    sim = Simulator()
+    obs = Observability().attach(sim)
+    assert sim.obs is obs
+    sim.schedule(2.5, lambda: obs.tracer.span("s").finish())
+    sim.run()
+    span = obs.tracer.spans[0]
+    assert span.start == 2.5 and span.end == 2.5
+
+
+def test_kernel_metrics_when_enabled():
+    sim = Simulator()
+    obs = Observability().attach(sim)
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert obs.metrics.counter("sim.events_fired").value == 5.0
+
+
+# ----------------------------------------------------------------------
+# Exporters
+
+
+def _traced_run():
+    tracer = Tracer()
+    now = [0.0]
+    tracer.attach_clock(lambda: now[0])
+    root = tracer.span("txn", node="client", txn="t1", priority="HIGH")
+    attempt = tracer.span("attempt", node="client", txn="t1.0", parent=root)
+    now[0] = 0.5
+    tracer.span("net:vote", node="p0", txn="t1.0").finish(at=0.6)
+    tracer.refuse(AbortReason.OCC_CONFLICT, node="p0", txn="t1.0")
+    tracer.abort(AbortReason.OCC_CONFLICT, node="client", txn="t1.0")
+    now[0] = 1.0
+    attempt.finish()
+    root.set(outcome="committed").finish()
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _traced_run()
+    path = str(tmp_path / "run.trace.jsonl")
+    write_jsonl(tracer, path, meta={"system": "Test"})
+    records = read_jsonl(path)
+    meta = [r for r in records if r["type"] == "meta"]
+    spans = [r for r in records if r["type"] == "span"]
+    events = [r for r in records if r["type"] == "event"]
+    assert meta[0]["system"] == "Test"
+    assert len(spans) == 3
+    assert len(events) == 2
+    root = next(s for s in spans if s["name"] == "txn")
+    attempt = next(s for s in spans if s["name"] == "attempt")
+    assert attempt["parent"] == root["id"]
+    assert root["attrs"]["outcome"] == "committed"
+    abort = next(e for e in events if e["name"] == "abort")
+    assert abort["attrs"]["reason"] == "OCC_CONFLICT"
+
+
+def test_parse_jsonl_lines_matches_writer():
+    tracer = _traced_run()
+    records = parse_jsonl_lines(jsonl_lines(tracer))
+    assert [r["type"] for r in records].count("span") == 3
+
+
+def test_chrome_trace_shape():
+    trace = chrome_trace(_traced_run(), meta={"system": "Test"})
+    events = trace["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert "X" in phases  # complete events for finished spans
+    assert "M" in phases  # process-name metadata per node
+    assert "i" in phases  # instant events (abort/refuse)
+    for entry in events:
+        if entry["ph"] == "X":
+            assert entry["dur"] >= 0
+            assert isinstance(entry["ts"], (int, float))
+    json.dumps(trace)  # must not raise
+
+
+def test_export_via_observability(tmp_path):
+    sim = Simulator()
+    obs = Observability().attach(sim)
+    sim.schedule(1.0, lambda: obs.tracer.span("s", node="n").finish())
+    sim.run()
+    jsonl_path = str(tmp_path / "t.jsonl")
+    chrome_path = str(tmp_path / "t.json")
+    obs.export_jsonl(jsonl_path)
+    obs.export_chrome_trace(chrome_path)
+    assert read_jsonl(jsonl_path)
+    with open(chrome_path) as fh:
+        assert json.load(fh)["traceEvents"]
+    snapshot = obs.snapshot()
+    assert snapshot["spans"] == 1

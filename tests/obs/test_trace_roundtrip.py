@@ -1,0 +1,138 @@
+"""End-to-end: a traced YCSB+T run exports a parseable, coherent trace.
+
+Runs a short, contended workload with tracing on, exports the JSONL
+stream, re-parses it and asserts the structural invariants the trace CLI
+relies on: every span/event ties back to a client-opened root ``txn``
+span, attempts nest under their root, and aborted attempts carry a
+classified (non-UNKNOWN) reason.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import ExperimentSettings, make_system, run_experiment
+from repro.obs.cli import main as trace_main
+from repro.obs.export import read_jsonl
+from repro.workloads import YcsbTWorkload
+
+SETTINGS = ExperimentSettings(
+    duration=2.0, trim=0.5, drain=4.0, tracing=True
+)
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    # High contention (few keys) so aborts actually happen.
+    return run_experiment(
+        lambda: make_system("Carousel Basic"),
+        lambda rng: YcsbTWorkload(rng, num_keys=200),
+        60,
+        SETTINGS,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_records(traced_result, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "run.trace.jsonl")
+    traced_result.obs.export_jsonl(path, meta={"system": "Carousel Basic"})
+    return path, read_jsonl(path)
+
+
+def _root_txn(txn):
+    head, sep, tail = txn.rpartition(".")
+    return head if sep and tail.isdigit() else txn
+
+
+def test_run_produced_spans_and_snapshot(traced_result):
+    assert traced_result.obs is not None
+    assert traced_result.obs_snapshot["spans"] > 0
+    metrics = traced_result.obs_snapshot["metrics"]
+    assert metrics["net.messages"]["value"] > 0
+    assert metrics["raft.appends"]["value"] > 0
+    assert metrics["sim.events_fired"]["value"] > 0
+
+
+def test_every_span_ties_back_to_a_root_txn(trace_records):
+    _, records = trace_records
+    spans = [r for r in records if r["type"] == "span"]
+    roots = {
+        s["txn"]: s for s in spans if s["name"] == "txn"
+    }
+    assert roots
+    for span in spans:
+        if span["txn"] is None:
+            continue
+        assert _root_txn(span["txn"]) in roots, span
+
+
+def test_attempts_nest_under_their_root(trace_records):
+    _, records = trace_records
+    spans = [r for r in records if r["type"] == "span"]
+    by_id = {s["id"]: s for s in spans}
+    attempts = [s for s in spans if s["name"] == "attempt"]
+    assert attempts
+    for attempt in attempts:
+        parent = by_id[attempt["parent"]]
+        assert parent["name"] == "txn"
+        assert _root_txn(attempt["txn"]) == parent["txn"]
+
+
+def test_aborted_attempts_are_classified(trace_records):
+    _, records = trace_records
+    aborts = [
+        r for r in records
+        if r["type"] == "event" and r["name"] == "abort"
+    ]
+    assert aborts, "contended run should produce aborts"
+    classified = [
+        a for a in aborts if a["attrs"]["reason"] != "UNKNOWN"
+    ]
+    assert len(classified) / len(aborts) >= 0.99
+
+
+def test_abort_events_match_stats_records(traced_result, trace_records):
+    _, records = trace_records
+    aborts = [
+        r for r in records
+        if r["type"] == "event" and r["name"] == "abort"
+    ]
+    stats_reasons = [
+        reason
+        for record in traced_result.stats.records
+        for reason in record.abort_reasons
+    ]
+    # One client-side abort event per failed attempt of a *finished*
+    # transaction; in-flight transactions at sim end only have events.
+    assert len(aborts) >= len(stats_reasons)
+    assert stats_reasons, "contended run should retry"
+    assert all(r != "UNKNOWN" for r in stats_reasons) or (
+        stats_reasons.count("UNKNOWN") / len(stats_reasons) <= 0.01
+    )
+
+
+def test_cli_summary_and_chrome_on_real_trace(
+    trace_records, tmp_path, capsys
+):
+    path, _ = trace_records
+    assert trace_main(["summary", path]) == 0
+    out = capsys.readouterr().out
+    assert "transactions:" in out
+    assert "non-UNKNOWN" in out
+
+    chrome_path = str(tmp_path / "run.chrome.json")
+    assert trace_main(["chrome", path, "-o", chrome_path]) == 0
+    with open(chrome_path) as fh:
+        trace = json.load(fh)
+    assert trace["traceEvents"]
+
+
+def test_cli_critical_path_on_real_trace(trace_records, capsys):
+    path, records = trace_records
+    root = next(
+        r for r in records if r["type"] == "span" and r["name"] == "txn"
+    )
+    assert trace_main(["critical-path", path, "--txn", root["txn"]]) == 0
+    out = capsys.readouterr().out
+    assert "timeline:" in out
+    assert "critical path" in out

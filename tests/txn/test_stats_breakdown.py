@@ -1,0 +1,122 @@
+"""Bucketed selection equivalence and abort_summary breakdowns."""
+
+import random
+
+from repro.txn import Priority, StatsCollector, TxnOutcome, TxnRecord
+
+
+def record(txn_id, start, end, priority=Priority.LOW, retries=0,
+           outcome=TxnOutcome.COMMITTED, txn_type="generic",
+           abort_reasons=()):
+    return TxnRecord(txn_id, priority, txn_type, start, end, retries,
+                     outcome, abort_reasons)
+
+
+def _scan(records, priority=None, window=None, txn_type=None):
+    """The original O(n) selection, as the ground truth."""
+    out = []
+    for r in records:
+        if not r.committed:
+            continue
+        if priority is not None and r.priority is not priority:
+            continue
+        if txn_type is not None and r.txn_type != txn_type:
+            continue
+        if window is not None and not (window[0] <= r.start < window[1]):
+            continue
+        out.append(r)
+    return out
+
+
+def test_bucketed_selection_matches_full_scan():
+    rng = random.Random(7)
+    stats = StatsCollector()
+    for i in range(500):
+        stats.add(record(
+            f"t{i}",
+            start=rng.uniform(0.0, 60.0),
+            end=rng.uniform(60.0, 70.0),
+            priority=rng.choice(list(Priority)),
+            txn_type=rng.choice(["rmw", "balance", "payment"]),
+            outcome=rng.choice(
+                [TxnOutcome.COMMITTED, TxnOutcome.COMMITTED,
+                 TxnOutcome.FAILED]
+            ),
+        ))
+    cases = [
+        {},
+        {"priority": Priority.HIGH},
+        {"txn_type": "rmw"},
+        {"window": (10.0, 50.0)},
+        {"priority": Priority.LOW, "txn_type": "balance",
+         "window": (5.0, 40.0)},
+    ]
+    for kwargs in cases:
+        got = stats.committed(**kwargs)
+        want = _scan(stats.records, **kwargs)
+        assert sorted(r.txn_id for r in got) == sorted(
+            r.txn_id for r in want
+        ), kwargs
+
+
+def test_selection_stays_correct_after_interleaved_adds():
+    stats = StatsCollector()
+    # Out-of-start-order arrival (records finish out of order).
+    stats.add(record("b", 5.0, 6.0))
+    stats.add(record("a", 1.0, 9.0))
+    assert {r.txn_id for r in stats.committed(window=(0.0, 2.0))} == {"a"}
+    # More adds after a query must not be lost or misordered.
+    stats.add(record("c", 0.5, 1.0))
+    assert {r.txn_id for r in stats.committed(window=(0.0, 2.0))} == {
+        "a", "c"
+    }
+
+
+def test_abort_summary_keeps_top_level_keys():
+    stats = StatsCollector()
+    stats.add(record("a", 0, 1, retries=2))
+    stats.add(record("b", 0, 1, outcome=TxnOutcome.FAILED))
+    summary = stats.abort_summary()
+    assert summary["transactions"] == 2
+    assert summary["failed"] == 1
+    assert summary["mean_retries"] == 1.0
+
+
+def test_abort_summary_per_priority_and_reason():
+    stats = StatsCollector()
+    stats.add(record(
+        "h1", 0, 1, priority=Priority.HIGH, retries=1,
+        abort_reasons=("OCC_CONFLICT",),
+    ))
+    stats.add(record(
+        "l1", 0, 1, priority=Priority.LOW, retries=3,
+        abort_reasons=("PREEMPTED", "PREEMPTED", "OCC_CONFLICT"),
+    ))
+    stats.add(record(
+        "l2", 0, 1, priority=Priority.LOW,
+        outcome=TxnOutcome.FAILED, retries=2,
+        abort_reasons=("LOCK_CONFLICT", "LOCK_CONFLICT"),
+    ))
+    summary = stats.abort_summary()
+    assert summary["by_reason"] == {
+        "OCC_CONFLICT": 2,
+        "PREEMPTED": 2,
+        "LOCK_CONFLICT": 2,
+    }
+    low = summary["by_priority"]["LOW"]
+    assert low["transactions"] == 2
+    assert low["failed"] == 1
+    assert low["mean_retries"] == 2.5
+    assert low["by_reason"] == {
+        "PREEMPTED": 2, "OCC_CONFLICT": 1, "LOCK_CONFLICT": 2,
+    }
+    high = summary["by_priority"]["HIGH"]
+    assert high["failed"] == 0
+    assert high["by_reason"] == {"OCC_CONFLICT": 1}
+
+
+def test_abort_summary_empty_has_breakdowns():
+    summary = StatsCollector().abort_summary()
+    assert summary["transactions"] == 0
+    assert summary["by_priority"] == {}
+    assert summary["by_reason"] == {}
