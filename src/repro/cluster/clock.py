@@ -66,11 +66,12 @@ class Clock:
     @property
     def offset(self) -> float:
         """Current total offset relative to true simulated time."""
-        return self._offset + self._drift * self._sim.now
+        return self._offset + self._drift * self._sim._now
 
     def now(self) -> float:
         """This node's current clock reading (seconds)."""
-        return self._sim.now + self.offset
+        sim_now = self._sim._now
+        return sim_now + self._offset + self._drift * sim_now
 
     def until(self, clock_time: float) -> float:
         """Simulated-time delay until this clock reads ``clock_time``.

@@ -47,9 +47,11 @@ class ServiceModel:
         """
         if cost <= 0.0:
             return 0.0
-        start = max(self._sim.now, self._busy_until)
+        now = self._sim._now
+        busy = self._busy_until
+        start = now if now > busy else busy
         self._busy_until = start + cost
-        return self._busy_until - self._sim.now
+        return start + cost - now
 
     @property
     def busy_until(self) -> float:

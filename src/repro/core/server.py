@@ -34,7 +34,9 @@ Life of a transaction at one participant:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.partition import Partitioner
@@ -51,6 +53,9 @@ from repro.txn.priority import Priority
 #: skip rule and CP predictions: covers prepare replication + decision
 #: fan-out beyond the pure client<->participant round trip.
 COMPLETION_MARGIN = 0.05
+
+#: Sort key for the timestamp-ordered queue (see ``NattoTxn.order``).
+_queue_order = attrgetter("order")
 
 
 @dataclass
@@ -295,8 +300,11 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             obs.metrics.gauge(f"natto.queue_depth.{self.name}").set(
                 len(self.queue) + 1
             )
-        self.queue.append(info)
-        self.queue.sort(key=lambda t: t.order)
+        # The queue is kept sorted by (ts, txn); a binary insertion is
+        # O(log n) key calls where the old append+sort was O(n).  ``ts``
+        # is fixed at construction, so the invariant can't rot, and
+        # insort_right matches the stable sort's placement of ties.
+        insort(self.queue, info, key=_queue_order)
         self._schedule_dispatch()
 
     def _schedule_dispatch(self) -> None:

@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -31,19 +32,39 @@ from repro.experiments import (
 )
 
 EXHIBITS: Dict[str, Callable] = {
-    "ablations": lambda scale, systems: ablations.run(scale),
-    "table1": lambda scale, systems: table1.run(scale),
-    "fig7a": lambda scale, systems: figure7.run_ycsbt(scale, systems),
-    "fig7c": lambda scale, systems: figure7.run_retwis(scale, systems),
-    "fig7e": lambda scale, systems: figure7.run_smallbank(scale, systems),
-    "fig8a": lambda scale, systems: figure8.run_ycsbt(scale, systems),
-    "fig8b": lambda scale, systems: figure8.run_retwis(scale, systems),
-    "fig9": lambda scale, systems: figure9.run(scale, systems),
-    "fig10": lambda scale, systems: figure10.run(scale, systems),
-    "fig11": lambda scale, systems: figure11.run(scale, systems),
-    "fig12": lambda scale, systems: figure12.run(scale, systems),
-    "fig13": lambda scale, systems: figure13.run(scale, systems),
-    "fig14": lambda scale, systems: figure14.run(scale, systems),
+    "ablations": lambda scale, systems, jobs: ablations.run(scale, jobs=jobs),
+    "table1": lambda scale, systems, jobs: table1.run(scale),
+    "fig7a": lambda scale, systems, jobs: figure7.run_ycsbt(
+        scale, systems, jobs=jobs
+    ),
+    "fig7c": lambda scale, systems, jobs: figure7.run_retwis(
+        scale, systems, jobs=jobs
+    ),
+    "fig7e": lambda scale, systems, jobs: figure7.run_smallbank(
+        scale, systems, jobs=jobs
+    ),
+    "fig8a": lambda scale, systems, jobs: figure8.run_ycsbt(
+        scale, systems, jobs=jobs
+    ),
+    "fig8b": lambda scale, systems, jobs: figure8.run_retwis(
+        scale, systems, jobs=jobs
+    ),
+    "fig9": lambda scale, systems, jobs: figure9.run(scale, systems, jobs=jobs),
+    "fig10": lambda scale, systems, jobs: figure10.run(
+        scale, systems, jobs=jobs
+    ),
+    "fig11": lambda scale, systems, jobs: figure11.run(
+        scale, systems, jobs=jobs
+    ),
+    "fig12": lambda scale, systems, jobs: figure12.run(
+        scale, systems, jobs=jobs
+    ),
+    "fig13": lambda scale, systems, jobs: figure13.run(
+        scale, systems, jobs=jobs
+    ),
+    "fig14": lambda scale, systems, jobs: figure14.run(
+        scale, systems, jobs=jobs
+    ),
 }
 
 
@@ -76,17 +97,29 @@ def main(argv=None) -> int:
         help="enable tracing and export one .trace.jsonl per run into "
         "DIR (inspect with python -m repro.trace)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep points (default: all cores; "
+        "1 = run in-process). Results are identical at any job count.",
+    )
     args = parser.parse_args(argv)
 
     if args.trace is not None:
+        # Construction-time defaults: every ExperimentSettings built
+        # after this point carries the trace config with it, so worker
+        # processes never need to see these globals.
         experiment_module.DEFAULT_TRACING = True
         experiment_module.TRACE_DIR = args.trace
+        os.makedirs(args.trace, exist_ok=True)
 
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         started = time.time()
         print(f"\n##### {name} (scale={args.scale}) #####")
-        result = EXHIBITS[name](args.scale, args.systems)
+        result = EXHIBITS[name](args.scale, args.systems, args.jobs)
         if isinstance(result, dict):
             for value in result.values():
                 if hasattr(value, "print"):

@@ -20,12 +20,14 @@ Run: ``python -m repro.experiments ablations [--scale quick]``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.core import Natto
 from repro.core.config import natto_recsf
-from repro.experiments.common import resolve_scale
-from repro.harness.experiment import ExperimentSettings, run_repeated
+from repro.experiments.common import resolve_scale, trace_label
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import PointSpec, WorkloadSpec, run_points
 from repro.harness.report import SeriesTable
 from repro.txn.priority import Priority
 from repro.workloads import YcsbTWorkload
@@ -33,12 +35,18 @@ from repro.workloads import YcsbTWorkload
 INPUT_RATE = 250
 
 
-def _run(config, settings, scale, seed=0):
-    return run_repeated(
-        lambda: Natto(config),
-        lambda rng: YcsbTWorkload(rng),
-        float(INPUT_RATE),
-        scale.apply(settings).scaled(seed=seed),
+def _spec(config, settings, scale, seed, tag, x) -> PointSpec:
+    """One ablation point: an unregistered Natto variant, so the system
+    travels as a ``functools.partial`` factory instead of a registry
+    label."""
+    return PointSpec(
+        system=partial(Natto, config),
+        x=x,
+        input_rate=float(INPUT_RATE),
+        workload=WorkloadSpec.of(YcsbTWorkload),
+        settings=scale.apply(settings).scaled(
+            seed=seed, trace_label=trace_label(tag, "Natto-RECSF", x)
+        ),
         repeats=scale.repeats,
     )
 
@@ -47,6 +55,7 @@ def run_timestamp_margin(
     scale="bench",
     margins_ms: Sequence[float] = (0.0, 2.0, 20.0),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """Margin sweep under mild jitter (where under-prediction bites)."""
     scale = resolve_scale(scale)
@@ -63,19 +72,24 @@ def run_timestamp_margin(
             delay_variance_cv=0.02
         )
     )
-    for margin in margins_ms:
-        result = _run(
+    specs = [
+        _spec(
             natto_recsf(timestamp_margin=margin / 1000.0),
             settings,
             scale,
             seed,
+            "abl-margin",
+            margin,
         )
+        for margin in margins_ms
+    ]
+    for result in run_points(specs, jobs=jobs):
         tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
     return tables
 
 
 def run_pa_skip_rule(
-    scale="bench", seed: int = 0
+    scale="bench", seed: int = 0, jobs: Optional[int] = None
 ) -> Dict[str, SeriesTable]:
     """The completion-time skip rule on vs off."""
     scale = resolve_scale(scale)
@@ -92,13 +106,18 @@ def run_pa_skip_rule(
             variants,
         ),
     }
-    for label, flag in (("skip rule on", True), ("skip rule off", False)):
-        result = _run(
+    specs = [
+        _spec(
             natto_recsf(pa_skip_rule=flag),
             ExperimentSettings(),
             scale,
             seed,
+            "abl-skip-rule",
+            label,
         )
+        for label, flag in (("skip rule on", True), ("skip rule off", False))
+    ]
+    for result in run_points(specs, jobs=jobs):
         tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
         tables["low"].add_point("Natto-RECSF", *result.p95_low_ms())
     return tables
@@ -108,6 +127,7 @@ def run_probe_cadence(
     scale="bench",
     intervals_ms: Sequence[float] = (10.0, 100.0, 500.0),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """Probe interval sweep under jitter (estimate freshness)."""
     scale = resolve_scale(scale)
@@ -119,6 +139,7 @@ def run_probe_cadence(
             intervals_ms,
         ),
     }
+    specs = []
     for interval in intervals_ms:
         settings = ExperimentSettings(
             system_config=ExperimentSettings().system_config.with_overrides(
@@ -126,7 +147,10 @@ def run_probe_cadence(
                 probe_interval=interval / 1000.0,
             )
         )
-        result = _run(natto_recsf(), settings, scale, seed)
+        specs.append(
+            _spec(natto_recsf(), settings, scale, seed, "abl-probes", interval)
+        )
+    for result in run_points(specs, jobs=jobs):
         tables["high"].add_point("Natto-RECSF", *result.p95_high_ms())
     return tables
 
@@ -138,7 +162,7 @@ def run(scale="bench", **kwargs) -> Dict[str, SeriesTable]:
         ("skip_rule", run_pa_skip_rule),
         ("probes", run_probe_cadence),
     ):
-        for key, table in runner(scale).items():
+        for key, table in runner(scale, **kwargs).items():
             tables[f"{prefix}.{key}"] = table
     return tables
 

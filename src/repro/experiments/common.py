@@ -1,17 +1,21 @@
-"""Shared machinery for the figure modules: scales and the sweep loop."""
+"""Shared machinery for the figure modules: scales and the sweep engine.
+
+A sweep is built as a flat list of :class:`~repro.harness.parallel.PointSpec`
+objects (one per system × x-value) and handed to
+:func:`~repro.harness.parallel.run_points`, which fans them over worker
+processes (``jobs`` workers, default all cores) or runs them in-process
+(``jobs=1``).  Results come back in spec order, so the tables a sweep
+fills are byte-identical however many workers ran it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.harness.experiment import (
-    ExperimentSettings,
-    RepeatedResult,
-    run_repeated,
-)
+from repro.harness.experiment import ExperimentSettings, slugify
+from repro.harness.parallel import PointSpec, WorkloadSpec, run_points
 from repro.harness.report import SeriesTable
-from repro.harness.systems import make_system
 from repro.txn.priority import Priority
 
 
@@ -44,55 +48,78 @@ def resolve_scale(scale) -> Scale:
     return SCALES[scale]
 
 
+def trace_label(tag: Optional[str], system_name: str, x) -> Optional[str]:
+    """Trace-export stem for one sweep point.
+
+    Derived from (figure tag, system, x-value); the harness appends the
+    run's seed.  Unique per point by construction — no shared counter,
+    so parallel workers can't collide.
+    """
+    if tag is None:
+        return None
+    return f"{slugify(tag)}-{slugify(system_name)}-x{slugify(x)}"
+
+
 def sweep(
     systems: Sequence[str],
     x_values: Sequence,
-    run_point: Callable[[str, object], RepeatedResult],
+    spec_for: Callable[[str, object], PointSpec],
     tables: Dict[str, SeriesTable],
-    extract: Dict[str, Callable[[RepeatedResult], tuple]],
+    extract: Dict[str, Callable[..., tuple]],
     progress: Optional[Callable[[str], None]] = print,
+    jobs: Optional[int] = None,
 ) -> None:
     """Fill ``tables`` by sweeping every system over ``x_values``.
 
-    ``extract`` maps a table key to a function producing ``(value,
-    error)`` from a :class:`RepeatedResult`; each key must exist in
-    ``tables``.
+    ``spec_for`` maps (system label, x-value) to a
+    :class:`~repro.harness.parallel.PointSpec`; ``extract`` maps a table
+    key to a function producing ``(value, error)`` from a
+    :class:`~repro.harness.experiment.RepeatedResult` (each key must
+    exist in ``tables``).  Points run through
+    :func:`~repro.harness.parallel.run_points` with ``jobs`` workers;
+    tables fill in (system, x) order regardless of completion order.
     """
-    for system_name in systems:
-        for x in x_values:
-            result = run_point(system_name, x)
-            for key, fn in extract.items():
-                value, error = fn(result)
-                tables[key].add_point(system_name, value, error)
-            if progress is not None:
-                progress(
-                    f"[{system_name} @ {x}] "
-                    + " ".join(
-                        f"{key}={tables[key].series[system_name][-1]:.1f}"
-                        for key in extract
-                    )
+    specs = [spec_for(name, x) for name in systems for x in x_values]
+    results = run_points(specs, jobs=jobs)
+    for spec, result in zip(specs, results):
+        system_name = result.system_name
+        for key, fn in extract.items():
+            value, error = fn(result)
+            tables[key].add_point(system_name, value, error)
+        if progress is not None:
+            progress(
+                f"[{system_name} @ {spec.x}] "
+                + " ".join(
+                    f"{key}={tables[key].series[system_name][-1]:.1f}"
+                    for key in extract
                 )
+            )
 
 
-def latency_point_runner(
-    workload_factory_for: Callable[[object], Callable],
+def latency_point_spec(
+    workload_spec_for: Callable[[object], WorkloadSpec],
     rate_for: Callable[[object], float],
     settings_for: Callable[[object], ExperimentSettings],
     repeats: int,
     seed: int = 0,
-) -> Callable[[str, object], RepeatedResult]:
-    """Build the standard ``run_point`` used by most figures."""
+    tag: Optional[str] = None,
+) -> Callable[[str, object], PointSpec]:
+    """Build the standard ``spec_for`` used by most figures."""
 
-    def run_point(system_name: str, x) -> RepeatedResult:
-        return run_repeated(
-            lambda: make_system(system_name),
-            workload_factory_for(x),
-            rate_for(x),
-            settings_for(x).scaled(seed=seed),
+    def spec_for(system_name: str, x) -> PointSpec:
+        settings = settings_for(x).scaled(
+            seed=seed, trace_label=trace_label(tag, system_name, x)
+        )
+        return PointSpec(
+            system=system_name,
+            x=x,
+            input_rate=rate_for(x),
+            workload=workload_spec_for(x),
+            settings=settings,
             repeats=repeats,
         )
 
-    return run_point
+    return spec_for
 
 
 def high_low_tables(

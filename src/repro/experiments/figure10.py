@@ -11,11 +11,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.workloads import SmallBankWorkload
 
@@ -29,6 +30,7 @@ def run(
     systems: Optional[Sequence[str]] = None,
     rates: Optional[Sequence[int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     rates = tuple(rates or RATES)
@@ -47,16 +49,15 @@ def run(
             unit="%",
         ),
     }
-    run_point = latency_point_runner(
-        workload_factory_for=lambda rate: (
-            lambda rng: SmallBankWorkload(
-                rng, high_priority_types={"send_payment"}
-            )
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda rate: WorkloadSpec.of(
+            SmallBankWorkload, high_priority_types=frozenset({"send_payment"})
         ),
         rate_for=lambda rate: float(rate),
         settings_for=lambda rate: scale.apply(ExperimentSettings()),
         repeats=scale.repeats,
         seed=seed,
+        tag="fig10",
     )
 
     def extract_high(result):
@@ -65,9 +66,10 @@ def run(
     sweep(
         systems or SYSTEMS,
         rates,
-        run_point,
+        spec_for,
         tables,
         {"high": extract_high},
+        jobs=jobs,
     )
     # Derive the increase-ratio series from the absolute latencies.
     for name, values in tables["high"].series.items():

@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.harness.systems import AZURE_SYSTEMS
 from repro.workloads import YcsbTWorkload
@@ -30,6 +31,7 @@ def run(
     systems: Optional[Sequence[str]] = None,
     variances: Optional[Sequence[float]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     variances = tuple(variances or VARIANCES)
@@ -41,8 +43,8 @@ def run(
             variances,
         )
     }
-    run_point = latency_point_runner(
-        workload_factory_for=lambda v: (lambda rng: YcsbTWorkload(rng)),
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda v: WorkloadSpec.of(YcsbTWorkload),
         rate_for=lambda v: float(INPUT_RATE),
         settings_for=lambda v: scale.apply(
             ExperimentSettings(
@@ -53,13 +55,15 @@ def run(
         ),
         repeats=scale.repeats,
         seed=seed,
+        tag="fig11",
     )
     sweep(
         systems or AZURE_SYSTEMS,
         variances,
-        run_point,
+        spec_for,
         tables,
         {"high": lambda r: r.p95_high_ms()},
+        jobs=jobs,
     )
     return tables
 

@@ -14,11 +14,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.harness.systems import AZURE_SYSTEMS
 from repro.net.loss import LossConfig
@@ -33,6 +34,7 @@ def run(
     systems: Optional[Sequence[str]] = None,
     loss_rates: Optional[Sequence[float]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     loss_rates = tuple(loss_rates or LOSS_RATES)
@@ -44,8 +46,8 @@ def run(
             loss_rates,
         )
     }
-    run_point = latency_point_runner(
-        workload_factory_for=lambda loss: (lambda rng: YcsbTWorkload(rng)),
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda loss: WorkloadSpec.of(YcsbTWorkload),
         rate_for=lambda loss: float(INPUT_RATE),
         settings_for=lambda loss: scale.apply(
             ExperimentSettings(
@@ -56,13 +58,15 @@ def run(
         ),
         repeats=scale.repeats,
         seed=seed,
+        tag="fig12",
     )
     sweep(
         systems or AZURE_SYSTEMS,
         loss_rates,
-        run_point,
+        spec_for,
         tables,
         {"high": lambda r: r.p95_high_ms()},
+        jobs=jobs,
     )
     return tables
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.harness.systems import AZURE_SYSTEMS
 from repro.net.topology import hybrid_cloud_topology
@@ -31,6 +32,7 @@ def run(
     scale="bench",
     systems: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     tables = {
@@ -41,8 +43,8 @@ def run(
             ("hybrid",),
         )
     }
-    run_point = latency_point_runner(
-        workload_factory_for=lambda _: (lambda rng: RetwisWorkload(rng)),
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda _: WorkloadSpec.of(RetwisWorkload),
         rate_for=lambda _: float(INPUT_RATE),
         settings_for=lambda _: scale.apply(
             ExperimentSettings(
@@ -54,13 +56,15 @@ def run(
         ),
         repeats=scale.repeats,
         seed=seed,
+        tag="fig13",
     )
     sweep(
         systems or AZURE_SYSTEMS,
         ("hybrid",),
-        run_point,
+        spec_for,
         tables,
         {"high": lambda r: r.p95_high_ms()},
+        jobs=jobs,
     )
     return tables
 

@@ -14,12 +14,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.cluster.clock import ClockConfig
-from repro.experiments.common import resolve_scale, sweep
-from repro.harness.experiment import ExperimentSettings, run_repeated
+from repro.experiments.common import resolve_scale, sweep, trace_label
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import PointSpec, WorkloadSpec
 from repro.harness.report import SeriesTable
-from repro.harness.systems import make_system
 from repro.net.topology import local_cluster_topology
-from repro.workloads import RetwisWorkload, UniformKeys
+from repro.workloads import RetwisWorkload
 
 SYSTEMS = (
     "2PL+2PC",
@@ -60,6 +60,7 @@ def run(
     seed: int = 0,
     offered_per_partition: Optional[int] = None,
     service_time: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """``offered_per_partition``/``service_time`` let cheap runs saturate
     with fewer simulated events (higher CPU cost per message = earlier
@@ -79,23 +80,26 @@ def run(
         )
     }
 
-    def run_point(system_name: str, n_partitions: int):
-        return run_repeated(
-            lambda: make_system(system_name),
-            lambda rng: RetwisWorkload(
-                rng, key_chooser=UniformKeys(1_000_000, rng)
+    def spec_for(system_name: str, n_partitions: int) -> PointSpec:
+        return PointSpec(
+            system=system_name,
+            x=n_partitions,
+            input_rate=float(offered * n_partitions),
+            workload=WorkloadSpec.of(RetwisWorkload, uniform_keys=1_000_000),
+            settings=_settings(n_partitions, scale, cpu_cost).scaled(
+                seed=seed,
+                trace_label=trace_label("fig14", system_name, n_partitions),
             ),
-            offered * n_partitions,
-            _settings(n_partitions, scale, cpu_cost).scaled(seed=seed),
             repeats=scale.repeats,
         )
 
     sweep(
         systems or SYSTEMS,
         partitions,
-        run_point,
+        spec_for,
         tables,
         {"throughput": lambda r: r.goodput()},
+        jobs=jobs,
     )
     return tables
 

@@ -18,11 +18,12 @@ from repro.experiments.common import (
     SCALES,
     STANDARD_EXTRACT,
     high_low_tables,
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.harness.systems import ALL_SYSTEMS, AZURE_SYSTEMS
 from repro.workloads import RetwisWorkload, SmallBankWorkload, YcsbTWorkload
@@ -34,22 +35,25 @@ RATES_SMALLBANK = (500, 1000, 1500, 2000)
 
 def _run_variant(
     title: str,
+    tag: str,
     systems: Sequence[str],
     rates: Sequence[int],
-    workload_factory_for,
+    workload_cls: type,
     scale,
     seed: int,
+    jobs: Optional[int],
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     tables = high_low_tables(title, "input rate (txn/s)", rates)
-    run_point = latency_point_runner(
-        workload_factory_for=workload_factory_for,
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda rate: WorkloadSpec.of(workload_cls),
         rate_for=lambda rate: float(rate),
         settings_for=lambda rate: scale.apply(ExperimentSettings()),
         repeats=scale.repeats,
         seed=seed,
+        tag=tag,
     )
-    sweep(systems, rates, run_point, tables, STANDARD_EXTRACT)
+    sweep(systems, rates, spec_for, tables, STANDARD_EXTRACT, jobs=jobs)
     return tables
 
 
@@ -58,15 +62,18 @@ def run_ycsbt(
     systems: Optional[Sequence[str]] = None,
     rates: Optional[Sequence[int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """Figure 7 (a) and (b)."""
     return _run_variant(
         "Figure 7(a/b) YCSB+T",
+        "fig7-ycsbt",
         systems or ALL_SYSTEMS,
         rates or RATES_YCSBT,
-        lambda rate: (lambda rng: YcsbTWorkload(rng)),
+        YcsbTWorkload,
         scale,
         seed,
+        jobs,
     )
 
 
@@ -75,15 +82,18 @@ def run_retwis(
     systems: Optional[Sequence[str]] = None,
     rates: Optional[Sequence[int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """Figure 7 (c) and (d)."""
     return _run_variant(
         "Figure 7(c/d) Retwis",
+        "fig7-retwis",
         systems or AZURE_SYSTEMS,
         rates or RATES_RETWIS,
-        lambda rate: (lambda rng: RetwisWorkload(rng)),
+        RetwisWorkload,
         scale,
         seed,
+        jobs,
     )
 
 
@@ -92,15 +102,18 @@ def run_smallbank(
     systems: Optional[Sequence[str]] = None,
     rates: Optional[Sequence[int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     """Figure 7 (e) and (f)."""
     return _run_variant(
         "Figure 7(e/f) SmallBank",
+        "fig7-smallbank",
         systems or AZURE_SYSTEMS,
         rates or RATES_SMALLBANK,
-        lambda rate: (lambda rng: SmallBankWorkload(rng)),
+        SmallBankWorkload,
         scale,
         seed,
+        jobs,
     )
 
 

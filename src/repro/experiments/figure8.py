@@ -16,11 +16,12 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.common import (
     STANDARD_EXTRACT,
     high_low_tables,
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.harness.systems import ALL_SYSTEMS, AZURE_SYSTEMS
 from repro.workloads import RetwisWorkload, YcsbTWorkload
@@ -29,49 +30,55 @@ ZIPF_COEFFICIENTS = (0.65, 0.75, 0.85, 0.95)
 
 
 def _run_variant(
-    title, systems, workload_class, rate, scale, seed, zipfs=None
+    title, tag, systems, workload_class, rate, scale, seed, zipfs=None,
+    jobs=None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     zipfs = tuple(zipfs or ZIPF_COEFFICIENTS)
     tables = high_low_tables(title, "zipf coefficient", zipfs)
-    run_point = latency_point_runner(
-        workload_factory_for=lambda theta: (
-            lambda rng: workload_class(rng, zipf_theta=theta)
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda theta: WorkloadSpec.of(
+            workload_class, zipf_theta=theta
         ),
         rate_for=lambda theta: float(rate),
         settings_for=lambda theta: scale.apply(ExperimentSettings()),
         repeats=scale.repeats,
         seed=seed,
+        tag=tag,
     )
-    sweep(systems, zipfs, run_point, tables, STANDARD_EXTRACT)
+    sweep(systems, zipfs, spec_for, tables, STANDARD_EXTRACT, jobs=jobs)
     return tables
 
 
-def run_ycsbt(scale="bench", systems=None, seed=0, zipfs=None
+def run_ycsbt(scale="bench", systems=None, seed=0, zipfs=None, jobs=None
               ) -> Dict[str, SeriesTable]:
     """Figure 8(a): YCSB+T at 50 txn/s."""
     return _run_variant(
         "Figure 8(a) YCSB+T @50 txn/s",
+        "fig8-ycsbt",
         systems or ALL_SYSTEMS,
         YcsbTWorkload,
         50,
         scale,
         seed,
         zipfs,
+        jobs,
     )
 
 
-def run_retwis(scale="bench", systems=None, seed=0, zipfs=None
+def run_retwis(scale="bench", systems=None, seed=0, zipfs=None, jobs=None
                ) -> Dict[str, SeriesTable]:
     """Figure 8(b): Retwis at 100 txn/s."""
     return _run_variant(
         "Figure 8(b) Retwis @100 txn/s",
+        "fig8-retwis",
         systems or AZURE_SYSTEMS,
         RetwisWorkload,
         100,
         scale,
         seed,
         zipfs,
+        jobs,
     )
 
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
-    latency_point_runner,
+    latency_point_spec,
     resolve_scale,
     sweep,
 )
 from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import WorkloadSpec
 from repro.harness.report import SeriesTable
 from repro.workloads import YcsbTWorkload
 
@@ -30,6 +31,7 @@ def run(
     systems: Optional[Sequence[str]] = None,
     percentages: Optional[Sequence[int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SeriesTable]:
     scale = resolve_scale(scale)
     percentages = tuple(percentages or PERCENTAGES)
@@ -40,21 +42,23 @@ def run(
             percentages,
         )
     }
-    run_point = latency_point_runner(
-        workload_factory_for=lambda pct: (
-            lambda rng: YcsbTWorkload(rng, high_priority_fraction=pct / 100.0)
+    spec_for = latency_point_spec(
+        workload_spec_for=lambda pct: WorkloadSpec.of(
+            YcsbTWorkload, high_priority_fraction=pct / 100.0
         ),
         rate_for=lambda pct: float(INPUT_RATE),
         settings_for=lambda pct: scale.apply(ExperimentSettings()),
         repeats=scale.repeats,
         seed=seed,
+        tag="fig9",
     )
     sweep(
         systems or SYSTEMS,
         percentages,
-        run_point,
+        spec_for,
         tables,
         {"high": lambda r: r.p95_high_ms()},
+        jobs=jobs,
     )
     return tables
 

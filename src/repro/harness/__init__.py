@@ -6,6 +6,9 @@
   measurement rules (warm-up/cool-down trimming, retry-inclusive
   latency, 100-retry failure cap), and aggregate repeats with 95%
   confidence intervals.
+* :mod:`repro.harness.parallel` — fan independent sweep points over
+  worker processes (``--jobs N``) with deterministic, order-stable
+  result assembly.
 * :mod:`repro.harness.systems` — the registry of system factories, one
   per line in the paper's plots.
 * :mod:`repro.harness.report` — plain-text series tables shaped like
@@ -18,6 +21,15 @@ from repro.harness.experiment import (
     RepeatedResult,
     run_experiment,
     run_repeated,
+    seed_schedule,
+    slugify,
+)
+from repro.harness.parallel import (
+    PointSpec,
+    WorkloadSpec,
+    default_jobs,
+    run_point,
+    run_points,
 )
 from repro.harness.report import SeriesTable, format_ms
 from repro.harness.systems import SYSTEM_FACTORIES, make_system
@@ -25,11 +37,18 @@ from repro.harness.systems import SYSTEM_FACTORIES, make_system
 __all__ = [
     "ExperimentResult",
     "ExperimentSettings",
+    "PointSpec",
     "RepeatedResult",
     "SYSTEM_FACTORIES",
     "SeriesTable",
+    "WorkloadSpec",
+    "default_jobs",
     "format_ms",
     "make_system",
     "run_experiment",
+    "run_point",
+    "run_points",
     "run_repeated",
+    "seed_schedule",
+    "slugify",
 ]

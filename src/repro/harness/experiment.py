@@ -25,7 +25,7 @@ import math
 import os
 import re
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,16 +43,34 @@ WorkloadFactory = Callable[[np.random.Generator], Workload]
 #: Process-wide default for :attr:`ExperimentSettings.tracing`; the
 #: experiments CLI flips this with ``--trace DIR`` so every run in the
 #: sweep is traced without threading a flag through each figure module.
+#: Resolved into each :class:`ExperimentSettings` at construction time
+#: (in the parent process), so parallel workers never consult it.
 DEFAULT_TRACING: bool = False
 
-#: When set (a directory path), every traced run exports its span/event
-#: stream as ``<system>-r<rate>-seed<seed>.trace.jsonl`` under it.
+#: Process-wide default for :attr:`ExperimentSettings.trace_dir`, set by
+#: the CLI's ``--trace DIR``.  Like :data:`DEFAULT_TRACING` it is only a
+#: construction-time default — the resolved value travels inside the
+#: settings object to workers, which never read this global.
 TRACE_DIR: Optional[str] = None
 
-#: Export-name collision counter: sweeps over a non-rate x-axis reuse
-#: (system, rate, seed), so repeats get a ``.2``, ``.3``, ... suffix
-#: instead of overwriting the earlier point's trace.
-_EXPORT_COUNTS: Dict[str, int] = {}
+
+def seed_schedule(base_seed: int, repeats: int) -> tuple:
+    """Per-repetition seeds for ``repeats`` runs of base seed ``base_seed``.
+
+    The mapping is ``base_seed * stride + repetition`` with ``stride =
+    max(1000, repeats)``: for any two distinct (base seed, repetition)
+    pairs produced by one call the seeds differ, because repetition
+    indexes never reach the stride.  For up to 1000 repetitions (the
+    paper uses 10) the stride is pinned at 1000, which reproduces the
+    historical ``seed * 1000 + repetition`` derivation exactly — every
+    existing figure keeps its numbers.  Beyond 1000 repetitions the
+    stride grows instead of silently colliding with the next base
+    seed's block, which the old fixed multiplier did.
+    """
+    if repeats < 0:
+        raise ValueError(f"repeats must be non-negative, got {repeats}")
+    stride = max(1000, repeats)
+    return tuple(base_seed * stride + rep for rep in range(repeats))
 
 
 @dataclass(frozen=True)
@@ -71,6 +89,16 @@ class ExperimentSettings:
     #: simulator (spans, events, metrics).  Defaults to the module-level
     #: :data:`DEFAULT_TRACING` so the CLI can switch whole sweeps.
     tracing: bool = field(default_factory=lambda: DEFAULT_TRACING)
+    #: Directory for per-run trace exports when tracing is on; resolved
+    #: from the module-level :data:`TRACE_DIR` default at construction
+    #: time so the value travels with the settings into worker
+    #: processes.  ``None`` disables export.
+    trace_dir: Optional[str] = field(default_factory=lambda: TRACE_DIR)
+    #: Filename stem for this run's trace export, normally derived by
+    #: the sweep machinery from (figure tag, system, x-value); the run's
+    #: seed is always appended, which keeps names collision-free across
+    #: repetitions and parallel workers without any shared counter.
+    trace_label: Optional[str] = None
 
     def scaled(self, **overrides) -> "ExperimentSettings":
         return replace(self, **overrides)
@@ -117,6 +145,18 @@ class ExperimentResult:
     @property
     def committed_per_second(self) -> float:
         return self.goodput()
+
+    def detach(self) -> "ExperimentResult":
+        """A transportable copy: no live ``system``/``obs`` objects.
+
+        The detached result pickles cheaply (transaction records plus
+        the JSON-able ``obs_snapshot``) and still answers every metric
+        query — parallel workers ship these back to the parent, which
+        is why serial and parallel sweeps extract identical numbers.
+        """
+        if self.system is None and self.obs is None:
+            return self
+        return replace(self, system=None, obs=None)
 
 
 def run_experiment(
@@ -166,12 +206,17 @@ def run_experiment(
     snapshot = None
     if obs is not None:
         snapshot = obs.snapshot()
-        if TRACE_DIR is not None:
+        if settings.trace_dir is not None:
             _export_trace(obs, system.name, settings, input_rate)
     return ExperimentResult(
         system.name, stats, window, input_rate, system,
         obs=obs, obs_snapshot=snapshot,
     )
+
+
+def slugify(text) -> str:
+    """Filename-safe form of a system label or x-value."""
+    return re.sub(r"[^a-z0-9._-]+", "-", str(text).lower()).strip("-")
 
 
 def _export_trace(
@@ -180,13 +225,23 @@ def _export_trace(
     settings: ExperimentSettings,
     input_rate: float,
 ) -> None:
-    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", system_name)
-    os.makedirs(TRACE_DIR, exist_ok=True)
-    base = f"{slug}-r{input_rate:g}-seed{settings.seed}"
-    count = _EXPORT_COUNTS.get(base, 0) + 1
-    _EXPORT_COUNTS[base] = count
-    name = base if count == 1 else f"{base}.{count}"
-    path = os.path.join(TRACE_DIR, f"{name}.trace.jsonl")
+    """Write the run's trace under ``settings.trace_dir``.
+
+    The name comes entirely from the run's own settings — the sweep
+    machinery bakes (figure tag, system, x-value) into ``trace_label``
+    and every repetition has a distinct seed (:func:`seed_schedule`) —
+    so concurrent workers can't collide and no shared counter is
+    needed.  ``makedirs(exist_ok=True)`` is atomic enough for the
+    parallel case: the first worker (or the CLI, which pre-creates the
+    directory) wins and the rest pass through.
+    """
+    stem = settings.trace_label or (
+        f"{slugify(system_name)}-r{input_rate:g}"
+    )
+    os.makedirs(settings.trace_dir, exist_ok=True)
+    path = os.path.join(
+        settings.trace_dir, f"{stem}-seed{settings.seed}.trace.jsonl"
+    )
     obs.export_jsonl(
         path,
         meta={
@@ -236,15 +291,19 @@ def run_repeated(
     settings: ExperimentSettings = ExperimentSettings(),
     repeats: int = 3,
 ) -> RepeatedResult:
-    """Repeat a run with independent seeds (paper: 10 repetitions)."""
+    """Repeat a run with independent seeds (paper: 10 repetitions).
+
+    Per-repetition seeds come from :func:`seed_schedule`, which derives
+    a collision-free seed for every (base seed, repetition) pair.
+    """
     results = []
-    for repetition in range(repeats):
-        run_settings = settings.scaled(
-            seed=settings.seed * 1000 + repetition
-        )
+    for seed in seed_schedule(settings.seed, repeats):
         results.append(
             run_experiment(
-                system_factory, workload_factory, input_rate, run_settings
+                system_factory,
+                workload_factory,
+                input_rate,
+                settings.scaled(seed=seed),
             )
         )
     return RepeatedResult(results[0].system_name, input_rate, results)

@@ -33,16 +33,26 @@ class DelayModel(Protocol):
 
 
 class ConstantDelay:
-    """Deterministic delays: exactly the topology's base one-way delay."""
+    """Deterministic delays: exactly the topology's base one-way delay.
+
+    Pair delays are memoized: the topology is immutable and ``sample``
+    sits on the per-message hot path, so the dict-probe-plus-division
+    in ``Topology.one_way`` is paid once per ordered pair.
+    """
 
     def __init__(self, topology: Topology) -> None:
         self._topology = topology
+        self._cache: dict = {}
 
     def sample(self, src_dc: str, dst_dc: str) -> float:
-        return self._topology.one_way(src_dc, dst_dc)
+        key = (src_dc, dst_dc)
+        delay = self._cache.get(key)
+        if delay is None:
+            delay = self._cache[key] = self._topology.one_way(src_dc, dst_dc)
+        return delay
 
     def mean(self, src_dc: str, dst_dc: str) -> float:
-        return self._topology.one_way(src_dc, dst_dc)
+        return self.sample(src_dc, dst_dc)
 
 
 class UniformJitterDelay:

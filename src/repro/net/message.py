@@ -9,13 +9,19 @@ message's wire size is a fixed header plus the payload's estimated
 serialized size.  The estimate is deliberately simple — it only needs to
 rank systems by bytes pushed (Carousel Basic replicates write data twice,
 Carousel Fast fans out to every replica, ...), which drives Figure 12.
+
+``Message`` is a hand-written ``__slots__`` class rather than a
+dataclass: one is allocated per network send, and the dataclass
+machinery (generated ``__init__``/``__eq__``, dict-backed instances,
+lazy size property) showed up as several percent of experiment runtime.
+The wire size is computed eagerly in ``__init__`` because every message
+needs it at dispatch time anyway (byte accounting + bandwidth pipes).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Fixed per-message overhead (TCP/IP + gRPC framing, roughly).
 HEADER_BYTES = 120
@@ -23,30 +29,57 @@ HEADER_BYTES = 120
 _message_ids = itertools.count(1)
 
 
-def estimate_size(value: Any) -> int:
+def estimate_size(value: Any, _len=len, _str=str, _int=int, _float=float,
+                  _dict=dict) -> int:
     """Rough serialized size of a payload value, in bytes.
 
     Iterative (explicit work stack) and ordered by frequency: message
-    payloads are dominated by strings (keys/values) and numbers.
+    payloads are dominated by strings (keys/values) and numbers, so
+    container items of those types are totalled inline instead of
+    taking another trip through the stack.  The ``_len``/``_str``/...
+    defaults pin builtins to fast locals — this runs once per network
+    message and the global lookups were measurable.
     """
     total = 0
     stack = [value]
+    pop = stack.pop
+    append = stack.append
     while stack:
-        item = stack.pop()
-        kind = type(item)
-        if kind is str:
-            total += len(item)
-        elif kind is int or kind is float:
+        item = pop()
+        kind = item.__class__
+        if kind is _str:
+            total += _len(item)
+        elif kind is _int or kind is _float:
             total += 8
-        elif kind is dict:
-            stack.extend(item.keys())
-            stack.extend(item.values())
+        elif kind is _dict:
+            for key, val in item.items():
+                k = key.__class__
+                if k is _str:
+                    total += _len(key)
+                elif k is _int or k is _float:
+                    total += 8
+                else:
+                    append(key)
+                k = val.__class__
+                if k is _str:
+                    total += _len(val)
+                elif k is _int or k is _float:
+                    total += 8
+                else:
+                    append(val)
         elif kind in (list, tuple, set, frozenset):
-            stack.extend(item)
+            for val in item:
+                k = val.__class__
+                if k is _str:
+                    total += _len(val)
+                elif k is _int or k is _float:
+                    total += 8
+                else:
+                    append(val)
         elif item is None or kind is bool:
             total += 1
         elif kind is bytes:
-            total += len(item)
+            total += _len(item)
         else:
             # Opaque object: flat cost, or whatever it self-reports.
             reported = getattr(item, "wire_size", None)
@@ -54,27 +87,30 @@ def estimate_size(value: Any) -> int:
     return total
 
 
-@dataclass
 class Message:
     """One network message."""
 
-    method: str
-    payload: Dict[str, Any]
-    src: str
-    dst: str
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
-    reply_to: int | None = None
-    _cached_size: int = field(default=-1, repr=False, compare=False)
+    __slots__ = ("method", "payload", "src", "dst", "msg_id", "reply_to",
+                 "wire_size")
 
-    @property
-    def wire_size(self) -> int:
-        """Estimated bytes on the wire (header + payload); cached, since
-        the payload is never mutated after construction."""
-        if self._cached_size < 0:
-            object.__setattr__(
-                self, "_cached_size", HEADER_BYTES + estimate_size(self.payload)
-            )
-        return self._cached_size
+    def __init__(
+        self,
+        method: str,
+        payload: Dict[str, Any],
+        src: str,
+        dst: str,
+        msg_id: Optional[int] = None,
+        reply_to: Optional[int] = None,
+    ) -> None:
+        self.method = method
+        self.payload = payload
+        self.src = src
+        self.dst = dst
+        self.msg_id = next(_message_ids) if msg_id is None else msg_id
+        self.reply_to = reply_to
+        #: Estimated bytes on the wire (header + payload); computed once
+        #: — the payload is never mutated after construction.
+        self.wire_size = HEADER_BYTES + estimate_size(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -26,6 +26,7 @@ Handlers receive ``(payload, src_name)`` and are looked up as
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.node import Node
@@ -63,11 +64,19 @@ class _Pipe:
 
     def transmit(self, now: float, size_bytes: int) -> float:
         """Queue ``size_bytes``; return the delay until fully on the wire."""
-        if self.bandwidth == float("inf"):
+        bandwidth = self.bandwidth
+        if bandwidth == float("inf"):
             return 0.0
-        start = max(now, self._busy_until)
-        self._busy_until = start + size_bytes / self.bandwidth
-        return self._busy_until - now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        end = start + size_bytes / bandwidth
+        self._busy_until = end
+        return end - now
+
+
+#: method -> "<method>.reply", interned once per method name instead of
+#: an f-string allocation per reply.
+_REPLY_METHOD: Dict[str, str] = {}
 
 
 def _txn_tag(message: Message) -> Optional[str]:
@@ -99,6 +108,11 @@ class Network:
         self._nodes: Dict[str, Node] = {}
         self._pipes: Dict[Tuple[str, str], _Pipe] = {}
         self._pending_calls: Dict[int, Future] = {}
+        # (dst_name, method) -> bound handler, or None for the
+        # handle_message fallback.  Nodes register once and handlers are
+        # bound methods, so the cache never goes stale; it replaces an
+        # f-string + getattr per delivered message.
+        self._handler_cache: Dict[Tuple[str, str], Optional[Any]] = {}
         # TCP/gRPC semantics: per (src, dst) node pair, messages are
         # delivered in send order — a later message never overtakes an
         # earlier one, though it can be delayed behind it.
@@ -112,6 +126,12 @@ class Network:
             if loss_rng is None:
                 raise ValueError("a loss RNG is required when loss_rate > 0")
             self._loss = LossModel(config.loss, loss_rng)
+        # Config is immutable, so the "does bandwidth matter at all"
+        # test is resolved once instead of per message.
+        self._bandwidth_capped = (
+            config.model_bandwidth
+            and config.loss.link_capacity_bytes_per_s != float("inf")
+        )
         self.messages_sent = 0
         self.bytes_sent = 0
 
@@ -189,21 +209,37 @@ class Network:
                     dst=message.dst,
                 )
             return
-        src = self._nodes[message.src]
-        dst = self._nodes[message.dst]
+        nodes = self._nodes
+        src = nodes[message.src]
+        dst = nodes[message.dst]
         self.messages_sent += 1
-        self.bytes_sent += message.wire_size
-        delay = self._delivery_delay(src, dst, message)
+        size = message.wire_size
+        self.bytes_sent += size
+        sim = self.sim
+        # Delivery delay, inlined: propagation + retransmission penalty
+        # + (cross-DC only) bandwidth-pipe queueing.
+        src_dc = src.datacenter
+        dst_dc = dst.datacenter
+        delay = self.delay_model.sample(src_dc, dst_dc)
+        if self._loss is not None:
+            delay += self._loss.retransmission_delay()
+        if self._bandwidth_capped and src_dc != dst_dc:
+            pipe = self._pipes.get((src_dc, dst_dc))
+            if pipe is None:
+                pipe = self._pipe(src_dc, dst_dc)
+            delay += pipe.transmit(sim._now, size)
         pair = (message.src, message.dst)
-        arrival = max(
-            self.sim.now + delay, self._last_arrival.get(pair, 0.0)
-        )
-        self._last_arrival[pair] = arrival
+        last = self._last_arrival
+        arrival = sim._now + delay
+        floor = last.get(pair)
+        if floor is not None and floor > arrival:
+            arrival = floor
+        last[pair] = arrival
         if obs.enabled:
             obs.metrics.counter("net.messages").inc(method=message.method)
             obs.metrics.counter("net.bytes").inc(message.wire_size)
             obs.metrics.histogram("net.delay").observe(
-                arrival - self.sim.now,
+                arrival - sim.now,
                 link=f"{src.datacenter}->{dst.datacenter}",
             )
             txn = _txn_tag(message)
@@ -214,20 +250,7 @@ class Network:
                     txn=txn,
                     dst=message.dst,
                 ).finish(at=arrival)
-        self.sim.schedule_at(arrival, lambda: self._arrive(message, dst))
-
-    def _delivery_delay(self, src: Node, dst: Node, message: Message) -> float:
-        delay = self.delay_model.sample(src.datacenter, dst.datacenter)
-        if self._loss is not None:
-            delay += self._loss.retransmission_delay()
-        if (
-            self.config.model_bandwidth
-            and src.datacenter != dst.datacenter
-            and self.config.loss.link_capacity_bytes_per_s != float("inf")
-        ):
-            pipe = self._pipe(src.datacenter, dst.datacenter)
-            delay += pipe.transmit(self.sim.now, message.wire_size)
-        return delay
+        sim.post_at(arrival, partial(self._arrive, message, dst))
 
     def _pipe(self, src_dc: str, dst_dc: str) -> _Pipe:
         key = (src_dc, dst_dc)
@@ -240,11 +263,13 @@ class Network:
         return pipe
 
     def _arrive(self, message: Message, dst: Node) -> None:
-        cpu_delay = dst.service.admission_delay(dst.service_time_for(message))
-        if cpu_delay > 0:
-            self.sim.schedule(cpu_delay, lambda: self._handle(message, dst))
-        else:
-            self._handle(message, dst)
+        cost = dst.service_time_for(message)
+        if cost > 0.0:
+            cpu_delay = dst.service.admission_delay(cost)
+            if cpu_delay > 0:
+                self.sim.post(cpu_delay, partial(self._handle, message, dst))
+                return
+        self._handle(message, dst)
 
     def _handle(self, message: Message, dst: Node) -> None:
         if message.reply_to is not None:
@@ -252,7 +277,14 @@ class Network:
             if future is not None and not future.done:
                 future.set_result(message.payload.get("result"))
             return
-        handler = getattr(dst, f"handle_{message.method}", None)
+        cache = self._handler_cache
+        key = (message.dst, message.method)
+        try:
+            handler = cache[key]
+        except KeyError:
+            handler = cache[key] = getattr(
+                dst, "handle_" + message.method, None
+            )
         if handler is None:
             dst.handle_message(message)
             return
@@ -260,19 +292,20 @@ class Network:
         # A message expects a reply iff it was created by call(); the
         # pending map is the source of truth (send() never registers).
         if message.msg_id in self._pending_calls:
-            self._respond(message, dst, result)
-
-    def _respond(self, message: Message, dst: Node, result: Any) -> None:
-        if isinstance(result, Future):
-            result.add_done_callback(
-                lambda f: self._send_reply(message, dst, f.value)
-            )
-        else:
-            self._send_reply(message, dst, result)
+            if isinstance(result, Future):
+                result.add_done_callback(
+                    lambda f: self._send_reply(message, dst, f.value)
+                )
+            else:
+                self._send_reply(message, dst, result)
 
     def _send_reply(self, request: Message, dst: Node, result: Any) -> None:
+        method = request.method
+        reply_method = _REPLY_METHOD.get(method)
+        if reply_method is None:
+            reply_method = _REPLY_METHOD[method] = method + ".reply"
         reply = Message(
-            method=f"{request.method}.reply",
+            method=reply_method,
             payload={"result": result},
             src=dst.name,
             dst=request.src,

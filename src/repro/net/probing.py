@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Deque, Dict, Iterable, Optional, Tuple
 
 from repro.cluster.node import Node
@@ -86,20 +87,21 @@ class ProbeProxy(Node):
     def _probe_all(self) -> None:
         for target in self._targets:
             self._probe(target)
-        self.sim.schedule(self._interval, self._probe_all)
+        # The probe loop runs for the whole simulation and is never
+        # cancelled, so it takes the kernel's timerless fast path.
+        self.sim.post(self._interval, self._probe_all)
 
     def _probe(self, target: str) -> None:
         sent_clock = self.clock.now()
         future = self._network.call(self, target, "probe", {"t": sent_clock})
-        future.add_done_callback(
-            lambda f: self._record(target, sent_clock, f.value)
-        )
+        future.add_done_callback(partial(self._record, target, sent_clock))
 
-    def _record(self, target: str, sent_clock: float, reply: dict) -> None:
-        sample = reply["server_time"] - sent_clock
+    def _record(self, target: str, sent_clock: float, reply_future) -> None:
+        sample = reply_future.value["server_time"] - sent_clock
         window = self._samples[target]
-        window.append((self.sim.now, sample))
-        cutoff = self.sim.now - self._window
+        now = self.sim._now
+        window.append((now, sample))
+        cutoff = now - self._window
         while window and window[0][0] < cutoff:
             window.popleft()
 
@@ -111,7 +113,7 @@ class ProbeProxy(Node):
         window = self._samples.get(target)
         if not window:
             return None
-        values = sorted(sample for _, sample in window)
+        values = sorted([sample for _, sample in window])
         index = min(
             len(values) - 1,
             int(len(values) * self._percentile / 100.0),
@@ -161,7 +163,7 @@ class ClientDelayView:
 
     def _refresh(self) -> None:
         self._cache = self._proxy.estimates()
-        self._sim.schedule(self._refresh_interval, self._refresh)
+        self._sim.post(self._refresh_interval, self._refresh)
 
     def estimate(self, target: str) -> Optional[float]:
         """Cached p95 one-way delay to ``target`` (seconds), or None."""

@@ -2,10 +2,19 @@
 
 Design notes
 ------------
-* Events are ``(deadline, sequence, callback)`` triples in a binary heap.
-  The monotonically increasing sequence number makes ordering of
-  same-deadline events deterministic (FIFO in scheduling order), which in
-  turn makes every experiment bit-reproducible for a fixed seed.
+* Events are ``(deadline, sequence, target)`` triples in a binary heap,
+  where ``target`` is either a :class:`Timer` (cancellable, returned by
+  :meth:`Simulator.schedule`) or a bare callback posted through the
+  :meth:`Simulator.post` fast path.  The monotonically increasing
+  sequence number makes ordering of same-deadline events deterministic
+  (FIFO in scheduling order), which in turn makes every experiment
+  bit-reproducible for a fixed seed; it also means heapq never compares
+  the third element, so Timers and bare callables can share the heap.
+* ``post``/``post_at`` exist because most events are never cancelled:
+  message deliveries, process steps and open-loop ticks fire exactly
+  once.  Skipping the Timer allocation and the cancellation bookkeeping
+  for them roughly doubles raw event throughput (see
+  ``benchmarks/perf/bench_sweep.py``).
 * Cancellation is lazy: a cancelled :class:`Timer` stays in the heap and
   is skipped when popped.  This keeps ``schedule`` and ``cancel`` O(log n)
   and O(1) respectively.  The kernel counts cancelled-but-still-heaped
@@ -22,6 +31,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.obs.core import NULL_OBS, Observability
@@ -115,7 +125,11 @@ class Simulator:
         """Run ``callback`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s into the past")
-        return self.schedule_at(self._now + delay, callback)
+        when = self._now + delay
+        timer = Timer(when, callback, self)
+        self._sequence += 1
+        heappush(self._heap, (when, self._sequence, timer))
+        return timer
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> Timer:
         """Run ``callback`` at absolute simulated time ``when``."""
@@ -125,13 +139,35 @@ class Simulator:
             )
         timer = Timer(when, callback, self)
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, timer))
+        heappush(self._heap, (when, self._sequence, timer))
         return timer
+
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Timer`, no cancel.
+
+        The hot path for events that are never cancelled (message
+        deliveries, process resumptions, open-loop ticks): the heap
+        entry holds the bare callback, skipping the Timer allocation on
+        the way in and the cancellation checks on the way out.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s into the past")
+        self._sequence += 1
+        heappush(self._heap, (self._now + delay, self._sequence, callback))
+
+    def post_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at`; see :meth:`post`."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})"
+            )
+        self._sequence += 1
+        heappush(self._heap, (when, self._sequence, callback))
 
     def timeout(self, delay: float) -> Future:
         """A future that resolves (with ``None``) after ``delay`` seconds."""
         future = Future()
-        self.schedule(delay, future.set_result)
+        self.post(delay, future.set_result)
         return future
 
     def spawn(self, generator: Generator) -> "Process":
@@ -157,7 +193,11 @@ class Simulator:
         Deterministic: (deadline, sequence) keys are unique, so heapify
         yields the same pop order the lazy skip would have.
         """
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[2].__class__ is not Timer or not entry[2]._cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -173,18 +213,31 @@ class Simulator:
         if self.obs.enabled:
             self._run_instrumented(until)
             return
+        # The innermost loop of every experiment: locals for the heap
+        # and pop, an infinite sentinel instead of a None check per
+        # event, and a single type test to split Timer entries (which
+        # need cancellation bookkeeping) from posted bare callbacks.
+        limit = float("inf") if until is None else until
         heap = self._heap
+        pop = heappop
+        timer_class = Timer
         while heap and not self._stopped:
-            deadline, _, timer = heap[0]
-            if until is not None and deadline > until:
+            entry = heap[0]
+            deadline = entry[0]
+            if deadline > limit:
                 break
-            heapq.heappop(heap)
-            if timer._cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            timer._sim = None
-            self._now = deadline
-            timer._fire()
+            pop(heap)
+            target = entry[2]
+            if target.__class__ is timer_class:
+                if target._cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                target._sim = None
+                self._now = deadline
+                target._callback()
+            else:
+                self._now = deadline
+                target()
         if until is not None and self._now < until:
             self._now = until
 
@@ -195,17 +248,21 @@ class Simulator:
         depth = obs.metrics.gauge("sim.heap_depth")
         heap = self._heap
         while heap and not self._stopped:
-            deadline, _, timer = heap[0]
+            deadline, _, target = heap[0]
             if until is not None and deadline > until:
                 break
             heapq.heappop(heap)
-            if timer._cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            timer._sim = None
+            if target.__class__ is Timer:
+                if target._cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                target._sim = None
             self._now = deadline
             fired.inc()
             depth.set(self.pending_events)
-            timer._fire()
+            if target.__class__ is Timer:
+                target._callback()
+            else:
+                target()
         if until is not None and self._now < until:
             self._now = until

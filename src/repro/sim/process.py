@@ -35,7 +35,7 @@ class Process(Future):
         # Start on a fresh event so spawn() returns before the first step
         # runs; this avoids re-entrancy surprises when a process resolves
         # futures its spawner is also watching.
-        sim.schedule(0.0, lambda: self._step(None, None))
+        sim.post(0.0, lambda: self._step(None, None))
 
     def _step(self, value: Any, exc: BaseException | None) -> None:
         try:
@@ -57,7 +57,7 @@ class Process(Future):
         if isinstance(yielded, Future):
             yielded.add_done_callback(self._resume_from_future)
         elif isinstance(yielded, (int, float)):
-            self._sim.schedule(float(yielded), lambda: self._step(None, None))
+            self._sim.post(float(yielded), lambda: self._step(None, None))
         else:
             self._step(
                 None,

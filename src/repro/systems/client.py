@@ -74,14 +74,20 @@ class ClientDriver(Node):
         """
         rng = self.sim_rng()
         mean_gap = 1.0 / rate_per_second
+        sim = self.sim
+        post = sim.post
+        exponential = rng.exponential
+        next_transaction = workload.next_transaction
+        submit = self.submit
+        name = self.name
 
         def _tick() -> None:
-            if self.sim.now >= until:
+            if sim._now >= until:
                 return
-            self.submit(workload.next_transaction(self.name))
-            self.sim.schedule(float(rng.exponential(mean_gap)), _tick)
+            submit(next_transaction(name))
+            post(float(exponential(mean_gap)), _tick)
 
-        self.sim.schedule(float(rng.exponential(mean_gap)), _tick)
+        post(float(exponential(mean_gap)), _tick)
 
     def sim_rng(self):
         # Late import to avoid widening the constructor signature; each

@@ -71,6 +71,24 @@ class StatsCollector:
         self._starts: Dict[StatsCollector._Key, List[float]] = {}
         self._dirty: Set[StatsCollector._Key] = set()
 
+    # ------------------------------------------------------------------
+    # Pickling (parallel sweep workers ship collectors to the parent)
+
+    def __getstate__(self) -> dict:
+        """Serialize the records only; indexes are derived state.
+
+        Keeps worker->parent transfers compact and guarantees the
+        rebuilt indexes are exactly what :meth:`add` would have built,
+        so post-transport queries match in-process ones bit for bit.
+        """
+        return {"records": self.records}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        add = self.add
+        for record in state["records"]:
+            add(record)
+
     def add(self, record: TxnRecord) -> None:
         self.records.append(record)
         if not record.committed:
