@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
+from itertools import chain
 from operator import attrgetter
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -258,7 +259,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             ):
                 self._priority_abort(queued)
         # Yield to strictly-higher-priority conflicts ordered after us.
-        for other in self.queue + self.waiting:
+        # Chained iteration, not concatenation: this runs on every
+        # arrival and must not build a fresh list each time.
+        for other in chain(self.queue, self.waiting):
             if (
                 other.priority > info.priority
                 and other.order > info.order

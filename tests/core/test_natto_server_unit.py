@@ -282,6 +282,21 @@ def test_priority_abort_on_queue_insert():
     assert [t.txn for t in server.queue] == ["thigh"]
 
 
+def test_arriving_low_yields_to_queued_higher_priority():
+    sim, server, client, coord = build(natto_cp())
+    # High-priority conflict already queued with a *larger* timestamp;
+    # the arriving low-priority transaction must refuse itself (the
+    # yield branch of PA, which scans queue then waiting).
+    server.handle_read_and_prepare(rap("thigh", 0.30, 1, [K0]), "client")
+    r_low = server.handle_read_and_prepare(rap("tlow", 0.20, 0, [K0]), "client")
+    assert r_low.value["ok"] is False
+    assert server.stats["priority_aborts"] == 1
+    assert [t.txn for t in server.queue] == ["thigh"]
+    sim.run(until=0.1)  # deliver the no-vote to the coordinator
+    no_votes = [v for v in coord.of_kind("vote") if v["vote"] == "no"]
+    assert [v["txn"] for v in no_votes] == ["tlow"]
+
+
 def test_priority_abort_skip_rule_unit():
     sim, server, client, coord = build(natto_cp())
     # tlow's completion estimate: ts + 2*max_owd + 0.05 = 0.2+0.06+0.05.
