@@ -1,0 +1,305 @@
+"""Profiling + behavior-identity harness for the protocol-layer fast path.
+
+Two jobs, one script:
+
+* **Fingerprints** — run one figure-7-style smoke point per system
+  family (2PL+2PC, TAPIR, Carousel Basic, Natto-RECSF) under forced
+  contention and hash the full transaction-record list
+  (:func:`repro.verify.fingerprint.fingerprint_result`).  The digests
+  are compared against ``FINGERPRINTS.json`` next to this script —
+  recorded on the pre-change tree — so any behavioral drift (one
+  reordered message, one extra RNG draw, one shifted timestamp) fails
+  loudly.  ``--record-fingerprints`` rewrites the expected file.
+* **Profile + timing** — run the ``bench_sweep`` smoke sweep under
+  cProfile and attribute exclusive time to subsystems (kernel / net /
+  raft / system / workload / stats / harness / other), then time the
+  same sweep unprofiled (best-of-``--repeat``).  Results land in
+  ``BENCH_profile.json`` together with the recorded pre-change
+  baseline, which is where the PR's before/after claims come from.
+
+``--smoke`` (the CI mode) runs the fingerprint check plus a single
+unprofiled sweep timing and **fails only on fingerprint mismatch** —
+never on timing, which is noise on shared runners.
+
+Run: ``PYTHONPATH=src python benchmarks/perf/bench_profile.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import pstats
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import bench_sweep  # noqa: E402  (sibling script, imported for smoke_specs)
+
+from repro.experiments.common import Scale  # noqa: E402
+from repro.harness.experiment import ExperimentSettings  # noqa: E402
+from repro.harness.parallel import (  # noqa: E402
+    PointSpec,
+    WorkloadSpec,
+    run_point,
+    run_points,
+)
+from repro.verify.fingerprint import fingerprint_result  # noqa: E402
+from repro.workloads import YcsbTWorkload  # noqa: E402
+
+FINGERPRINTS_PATH = os.path.join(_HERE, "FINGERPRINTS.json")
+
+#: One representative per system family (ISSUE 3 acceptance: "all four
+#: system families").  Small key space forces contention so the digest
+#: covers abort/retry/priority paths, not just clean commits.
+FINGERPRINT_SYSTEMS = ("2PL+2PC", "TAPIR", "Carousel Basic", "Natto-RECSF")
+FINGERPRINT_RATE = 80
+FINGERPRINT_KEYS = 600
+FINGERPRINT_SCALE = Scale("fp", duration=2.0, trim=0.5, repeats=1, drain=4.0)
+
+#: filename-prefix → subsystem buckets for the cProfile attribution.
+SUBSYSTEMS = (
+    ("kernel", ("repro/sim/",)),
+    ("net", ("repro/net/",)),
+    ("raft", ("repro/raft/",)),
+    ("system", ("repro/systems/", "repro/core/", "repro/store/")),
+    ("workload", ("repro/workloads/",)),
+    ("stats", ("repro/txn/", "repro/obs/", "repro/verify/")),
+    ("harness", ("repro/harness/", "repro/experiments/")),
+)
+
+#: Pre-change numbers, measured on this host at commit 691bb7e (before
+#: the protocol-layer fast path) with this same script: subsystem
+#: attribution of the profiled smoke sweep and the best-of-3 unprofiled
+#: smoke-sweep wall-clock.
+#:
+#: This box's wall-clock drifts by >40% between sessions (the identical
+#: tree has timed anywhere from 3.1 s to 5.5 s), so the load-bearing
+#: before/after is the ``same_box`` pair: the pre-PR tree (``git stash``
+#: of every change) and the post-PR tree timed back-to-back in one
+#: session, best-of-3 each.  That pairing is the PR's speedup claim
+#: (4.576 / 2.936 = 1.56x); the earlier ``smoke_sweep_serial_wall_s``
+#: numbers were recorded in a faster box state and are kept only for
+#: continuity with ``BENCH_sweep.json``.
+PRE_PR_BASELINE = {
+    "smoke_sweep_serial_wall_s": 3.971,
+    "smoke_sweep_serial_wall_s_single_shot": 3.678,
+    "same_box_best_of_3": {
+        "pre_pr_s": 4.576,
+        "post_pr_s": 2.936,
+        "speedup": 1.56,
+        "method": (
+            "pre-PR tree (git stash -u) and post-PR tree timed "
+            "back-to-back in one session, 3 runs each, best-of"
+        ),
+    },
+    "profile_by_subsystem_s": {
+        "net": 4.592,
+        "other": 1.805,
+        "kernel": 1.583,
+        "raft": 1.406,
+        "system": 0.966,
+        "workload": 0.137,
+        "stats": 0.019,
+        "harness": 0.001,
+    },
+    "profile_total_s": 10.509,
+}
+
+
+def fingerprint_specs() -> list:
+    specs = []
+    for system in FINGERPRINT_SYSTEMS:
+        settings = FINGERPRINT_SCALE.apply(ExperimentSettings()).scaled(
+            seed=0
+        )
+        specs.append(
+            PointSpec(
+                system=system,
+                x=FINGERPRINT_RATE,
+                input_rate=float(FINGERPRINT_RATE),
+                workload=WorkloadSpec.of(
+                    YcsbTWorkload, num_keys=FINGERPRINT_KEYS
+                ),
+                settings=settings,
+                repeats=FINGERPRINT_SCALE.repeats,
+            )
+        )
+    return specs
+
+
+def compute_fingerprints() -> dict:
+    digests = {}
+    for spec in fingerprint_specs():
+        print(f"fingerprint: {spec.label()} ...", flush=True)
+        repeated = run_point(spec)
+        digests[str(spec.system)] = fingerprint_result(repeated.results[0])
+        print(f"  {digests[str(spec.system)]}")
+    return digests
+
+
+def load_expected() -> dict:
+    if not os.path.exists(FINGERPRINTS_PATH):
+        return {}
+    with open(FINGERPRINTS_PATH) as fh:
+        return json.load(fh)
+
+
+def check_fingerprints(digests: dict) -> list:
+    """Names whose digest differs from the recorded expectation."""
+    expected = load_expected()
+    return [
+        name
+        for name, digest in digests.items()
+        if expected.get(name) not in (None, digest)
+    ]
+
+
+def bucket_for(filename: str) -> str:
+    path = filename.replace(os.sep, "/")
+    for name, prefixes in SUBSYSTEMS:
+        if any(prefix in path for prefix in prefixes):
+            return name
+    return "other"
+
+
+def profile_sweep() -> dict:
+    """cProfile the serial smoke sweep; attribute tottime by subsystem."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_points(bench_sweep.smoke_specs(), jobs=1)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    by_subsystem: dict = {}
+    rows = []
+    for (filename, lineno, funcname), row in stats.stats.items():
+        tottime, cumtime = row[2], row[3]
+        bucket = bucket_for(filename)
+        by_subsystem[bucket] = by_subsystem.get(bucket, 0.0) + tottime
+        rows.append((tottime, cumtime, filename, lineno, funcname))
+    rows.sort(reverse=True)
+    top = [
+        {
+            "function": f"{os.path.basename(f)}:{line}({func})",
+            "tottime_s": round(tot, 3),
+            "cumtime_s": round(cum, 3),
+        }
+        for tot, cum, f, line, func in rows[:15]
+    ]
+    total = sum(by_subsystem.values())
+    return {
+        "total_s": round(total, 3),
+        "by_subsystem_s": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(
+                by_subsystem.items(), key=lambda kv: -kv[1]
+            )
+        },
+        "top_functions": top,
+    }
+
+
+def time_sweep(repeat: int) -> dict:
+    """Unprofiled serial smoke-sweep wall-clock, best-of-``repeat``."""
+    runs = []
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        run_points(bench_sweep.smoke_specs(), jobs=1)
+        runs.append(round(time.perf_counter() - started, 3))
+        print(f"  smoke sweep serial: {runs[-1]:.2f} s", flush=True)
+    return {"serial_wall_s": min(runs), "runs": runs}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: fingerprints + one sweep timing, no profiling; "
+             "exit nonzero only on fingerprint mismatch",
+    )
+    parser.add_argument(
+        "--record-fingerprints", action="store_true",
+        help="rewrite FINGERPRINTS.json from the current tree",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timing repetitions for best-of (default 3; --smoke uses 1)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_profile.json next to this "
+             "script)",
+    )
+    args = parser.parse_args(argv)
+
+    digests = compute_fingerprints()
+    if args.record_fingerprints:
+        with open(FINGERPRINTS_PATH, "w") as fh:
+            json.dump(digests, fh, indent=2)
+            fh.write("\n")
+        print(f"recorded {FINGERPRINTS_PATH}")
+    mismatched = check_fingerprints(digests)
+    expected = load_expected()
+    for name in digests:
+        status = (
+            "MISMATCH" if name in mismatched
+            else "ok" if name in expected
+            else "unrecorded"
+        )
+        print(f"fingerprint {name}: {status}")
+
+    report = {
+        "fingerprints": digests,
+        "fingerprints_match_expected": not mismatched,
+        "mismatched": mismatched,
+    }
+
+    profile = None
+    if not args.smoke:
+        print("profiling smoke sweep (serial, cProfile) ...", flush=True)
+        profile = profile_sweep()
+        report["profile"] = profile
+        for name, seconds in profile["by_subsystem_s"].items():
+            print(f"  {name:9s} {seconds:8.3f} s")
+
+    print("timing smoke sweep (serial, unprofiled) ...", flush=True)
+    timing = time_sweep(1 if args.smoke else args.repeat)
+    report["smoke_sweep"] = timing
+
+    report["pre_pr_baseline"] = PRE_PR_BASELINE
+    baseline_best = PRE_PR_BASELINE["smoke_sweep_serial_wall_s"]
+    baseline_single = PRE_PR_BASELINE["smoke_sweep_serial_wall_s_single_shot"]
+    same_box = PRE_PR_BASELINE["same_box_best_of_3"]
+    # The controlled comparison (same session, same box state) is the
+    # PR's claim; the cross-session ratios below are informational only.
+    speedup = {"same_box_best_of_3": same_box["speedup"]}
+    if baseline_single:
+        speedup["vs_bench_sweep_single_shot"] = round(
+            baseline_single / timing["serial_wall_s"], 3
+        )
+    if baseline_best:
+        speedup["vs_pre_pr_best_of"] = round(
+            baseline_best / timing["serial_wall_s"], 3
+        )
+    report["speedup"] = speedup
+
+    out = args.out or os.path.join(_HERE, "BENCH_profile.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if mismatched:
+        print(
+            f"FAIL: fingerprint mismatch for {', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,13 @@ Times three things and writes ``BENCH_sweep.json`` next to this file
 * **smoke sweep, serial** — a fixed figure-7-style sweep (two systems
   x two input rates, tiny scale) run in-process (``jobs=1``), the
   single-core number the acceptance criterion targets.
-* **smoke sweep, parallel** — the same sweep at ``--jobs N`` (default
-  all cores).  On a multi-core host this should cut wall-clock roughly
-  linearly in min(jobs, points); the tables are asserted identical to
-  the serial run before timings are reported.
+* **parallel smoke** — a wider sweep (two systems x four rates, eight
+  points) timed serially and at ``--jobs N`` (default all cores).
+  ``run_points`` caps the pool at half the point count and at the
+  usable-CPU allowance, so on a one-core container the "parallel" leg
+  honestly collapses to the serial path instead of paying worker
+  startup for nothing; the tables are asserted identical to the serial
+  run before timings are reported.
 
 Run: ``PYTHONPATH=src python benchmarks/perf/bench_sweep.py [--jobs N]``
 
@@ -45,6 +48,7 @@ from repro.harness.parallel import (
     WorkloadSpec,
     default_jobs,
     run_points,
+    usable_cpus,
 )
 from repro.sim.kernel import Simulator
 from repro.workloads import YcsbTWorkload
@@ -52,6 +56,11 @@ from repro.workloads import YcsbTWorkload
 SMOKE_SYSTEMS = ("Carousel Basic", "Natto-RECSF")
 SMOKE_RATES = (50, 150)
 SMOKE_SCALE = Scale("smoke", duration=4.0, trim=1.0, repeats=1, drain=6.0)
+
+#: The parallel-executor leg needs enough points for workers to
+#: amortize startup (>=2 points per worker at --jobs 2 means >=8
+#: points before the executor engages at all on a multi-core host).
+PARALLEL_RATES = (40, 80, 120, 160)
 
 
 def bench_kernel_chain(events: int = 400_000) -> float:
@@ -109,10 +118,10 @@ def bench_kernel_fanout(rounds: int = 40_000, width: int = 8) -> float:
     return rounds * width / (time.perf_counter() - started)
 
 
-def smoke_specs() -> list:
+def smoke_specs(rates=SMOKE_RATES) -> list:
     specs = []
     for system in SMOKE_SYSTEMS:
-        for rate in SMOKE_RATES:
+        for rate in rates:
             settings = SMOKE_SCALE.apply(ExperimentSettings()).scaled(
                 seed=0, trace_label=trace_label("bench", system, rate)
             )
@@ -166,13 +175,29 @@ def main(argv=None) -> int:
     serial_s = time.perf_counter() - started
     print(f"  {serial_s:.2f} s")
 
-    print(f"smoke sweep: parallel (jobs={jobs}) ...", flush=True)
+    # The parallel leg runs an 8-point sweep: run_points now refuses to
+    # hire a worker for fewer than two points (or more workers than the
+    # CPU allowance), so a 4-point sweep at --jobs 2 would just measure
+    # the serial path twice.
+    wide = smoke_specs(PARALLEL_RATES)
+    effective = min(jobs, len(wide) // 2, usable_cpus())
+    print(f"smoke sweep: {len(wide)} points serial (jobs=1) ...", flush=True)
     started = time.perf_counter()
-    parallel = run_points(smoke_specs(), jobs=jobs)
+    wide_serial = run_points(wide, jobs=1)
+    wide_serial_s = time.perf_counter() - started
+    print(f"  {wide_serial_s:.2f} s")
+
+    print(
+        f"smoke sweep: {len(wide)} points parallel "
+        f"(jobs={jobs}, effective={max(1, effective)}) ...",
+        flush=True,
+    )
+    started = time.perf_counter()
+    parallel = run_points(wide, jobs=jobs)
     parallel_s = time.perf_counter() - started
     print(f"  {parallel_s:.2f} s")
 
-    if fingerprint(serial) != fingerprint(parallel):
+    if fingerprint(wide_serial) != fingerprint(parallel):
         print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
         return 1
     print("parity: serial and parallel sweeps identical")
@@ -186,9 +211,14 @@ def main(argv=None) -> int:
         "smoke_sweep": {
             "points": len(smoke_specs()),
             "serial_wall_s": round(serial_s, 3),
+        },
+        "parallel_smoke": {
+            "points": len(wide),
+            "serial_wall_s": round(wide_serial_s, 3),
             "parallel_wall_s": round(parallel_s, 3),
-            "jobs": jobs,
-            "parallel_speedup": round(serial_s / parallel_s, 3),
+            "jobs_requested": jobs,
+            "jobs_effective": max(1, effective),
+            "parallel_speedup": round(wide_serial_s / parallel_s, 3),
             "parity": "identical",
         },
         "pre_pr_baseline": {

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.net.payload import PartitionValuesEvent
 from repro.systems.carousel.coordinator import (
     CarouselCoordinator,
     CoordinatedTxn,
@@ -135,10 +136,7 @@ class NattoCoordinator(CarouselCoordinator):
             self,
             payload["reader_client"],
             "txn_event",
-            {
-                "txn": payload["reader"],
-                "kind": "recsf_reads",
-                "partition": payload["partition"],
-                "values": values,
-            },
+            PartitionValuesEvent(
+                payload["reader"], "recsf_reads", payload["partition"], values
+            ),
         )

@@ -36,12 +36,21 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from itertools import chain
 from operator import attrgetter
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.partition import Partitioner
 from repro.core.config import NattoConfig
+from repro.net.payload import (
+    ConditionResolved,
+    NattoVoteYes,
+    PartitionValuesEvent,
+    ReadOkEpoch,
+    ReadsEvent,
+    RecsfForward,
+    Refusal,
+    VoteReason,
+)
 from repro.net.probing import ProbeTargetMixin
 from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
@@ -107,6 +116,56 @@ class NattoTxn:
         return self.ts + 2.0 * self.max_owd + COMPLETION_MARGIN
 
 
+class _ConflictIndex:
+    """key -> live transactions touching the key (either access mode).
+
+    Conflicting transactions necessarily share a key, so the union of
+    the per-key buckets for a transaction's own keys is a superset of
+    its true conflict set; ``conflicts_with`` stays the only judge.
+    The arrival/dispatch scans filter these candidates instead of
+    walking (copies of) the whole queue and waiting list.
+
+    Buckets are ``txn -> NattoTxn`` dicts: O(1) add/remove, insertion-
+    ordered, and usable for transactions that are not hashable.
+    """
+
+    __slots__ = ("_by_key",)
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, Dict[str, NattoTxn]] = {}
+
+    def add(self, info: "NattoTxn") -> None:
+        by_key = self._by_key
+        for keys in (info.reads, info.writes):
+            for key in keys:
+                bucket = by_key.get(key)
+                if bucket is None:
+                    bucket = by_key[key] = {}
+                bucket[info.txn] = info
+
+    def remove(self, info: "NattoTxn") -> None:
+        by_key = self._by_key
+        for keys in (info.reads, info.writes):
+            for key in keys:
+                bucket = by_key.get(key)
+                if bucket is not None:
+                    bucket.pop(info.txn, None)
+                    if not bucket:
+                        del by_key[key]
+
+    def candidates(self, info: "NattoTxn") -> Iterable["NattoTxn"]:
+        """Every live transaction sharing a key with ``info`` (possibly
+        including ``info`` itself), deduplicated."""
+        by_key = self._by_key
+        found: Dict[str, NattoTxn] = {}
+        for keys in (info.reads, info.writes):
+            for key in keys:
+                bucket = by_key.get(key)
+                if bucket:
+                    found.update(bucket)
+        return found.values()
+
+
 class NattoParticipant(ProbeTargetMixin, RaftReplica):
     """Leader (and follower) replica of one Natto data partition."""
 
@@ -126,6 +185,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self.txns: Dict[str, NattoTxn] = {}
         self.queue: List[NattoTxn] = []
         self.waiting: List[NattoTxn] = []
+        #: conflict candidates for every transaction in ``txns``
+        #: (queued, waiting, conditional or prepared).
+        self._index = _ConflictIndex()
         #: blocker txn -> conditioned high-priority txns (CP bookkeeping)
         self._conditions: Dict[str, Set[str]] = {}
         #: LECSF: writes applied before their log entry (dedup at apply)
@@ -162,7 +224,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             if obs.enabled:
                 obs.tracer.refuse(reason, node=self.name, txn=payload["txn"])
             reply = Future()
-            reply.set_result({"ok": False, "reason": reason_value(reason)})
+            reply.set_result(Refusal(reason_value(reason)))
             return reply
         self._rap_seen.add(payload["txn"])
         pid = self.partition_id()
@@ -189,6 +251,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         if self.natto.pa and self._priority_abort_on_arrival(info):
             return info.reply
         self.txns[info.txn] = info
+        self._index.add(info)
         self._enqueue(info)
         return info.reply
 
@@ -197,25 +260,23 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         with a conflicting ongoing transaction."""
         if self.clock.now() <= info.ts:
             return False
-        ongoing = list(self.waiting) + [
-            self.txns[t]
-            for t in self.prepared.txn_ids
-            if t in self.txns
-        ]
+        order = info.order
         if info.uses_locking:
             # Conflict with any ongoing (prepared, waiting or queued)
             # smaller-timestamp transaction forces an abort: the other
             # servers may already have ordered past us.
-            candidates = ongoing + self.queue
             return any(
-                other.order < info.order and info.conflicts_with(other)
-                for other in candidates
+                other.order < order and info.conflicts_with(other)
+                for other in self._index.candidates(info)
             )
         # Lowest priority (OCC): order is violated if a conflicting
-        # *larger*-timestamp transaction was already dispatched.
+        # *larger*-timestamp transaction was already dispatched
+        # (waiting, conditional or prepared — queued ones have not).
         return any(
-            other.order > info.order and info.conflicts_with(other)
-            for other in ongoing
+            other.state != "queued"
+            and other.order > order
+            and info.conflicts_with(other)
+            for other in self._index.candidates(info)
         )
 
     def _refuse(self, info: NattoTxn, reason) -> None:
@@ -225,21 +286,19 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         if obs.enabled:
             obs.tracer.refuse(reason, node=self.name, txn=info.txn)
         if not info.reply.done:
-            info.reply.set_result(
-                {"ok": False, "reason": reason_value(reason)}
-            )
+            info.reply.set_result(Refusal(reason_value(reason)))
         self._network.send(
             self,
             info.coordinator,
             "vote",
-            {
-                "txn": info.txn,
-                "partition": self.partition_id(),
-                "vote": "no",
-                "participants": info.participants,
-                "client": info.client,
-                "reason": reason_value(reason),
-            },
+            VoteReason(
+                info.txn,
+                self.partition_id(),
+                "no",
+                info.participants,
+                info.client,
+                reason_value(reason),
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -249,21 +308,29 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         """Apply PA rules at arrival, relationally over priority levels.
         Returns True if *info itself* was aborted (arriving behind a
         queued strictly-higher-priority transaction)."""
-        # Evict queued strictly-lower-priority conflicts ordered before us.
-        for queued in list(self.queue):
-            if (
-                queued.priority < info.priority
-                and queued.order < info.order
-                and info.conflicts_with(queued)
-                and not self._completes_in_time(queued, info)
-            ):
+        candidates = list(self._index.candidates(info))
+        # Evict queued strictly-lower-priority conflicts ordered before
+        # us — in queue (timestamp) order, as a queue walk would visit
+        # them, so the abort messages leave in the same sequence.
+        victims = [
+            queued
+            for queued in candidates
+            if queued.state == "queued"
+            and queued.priority < info.priority
+            and queued.order < info.order
+            and info.conflicts_with(queued)
+            and not self._completes_in_time(queued, info)
+        ]
+        if victims:
+            victims.sort(key=_queue_order)
+            for queued in victims:
                 self._priority_abort(queued)
-        # Yield to strictly-higher-priority conflicts ordered after us.
-        # Chained iteration, not concatenation: this runs on every
-        # arrival and must not build a fresh list each time.
-        for other in chain(self.queue, self.waiting):
+        # Yield to strictly-higher-priority conflicts ordered after us
+        # that are still queued or waiting (prepared ones do not wound).
+        for other in candidates:
             if (
-                other.priority > info.priority
+                other.state in ("queued", "waiting", "cond")
+                and other.priority > info.priority
                 and other.order > info.order
                 and info.conflicts_with(other)
                 and not self._completes_in_time(info, other)
@@ -285,6 +352,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self.stats["priority_aborts"] += 1
         self.queue.remove(low)
         self.txns.pop(low.txn, None)
+        self._index.remove(low)
         low.state = "done"
         if low.queue_span is not None:
             low.queue_span.set(outcome="preempted")
@@ -333,11 +401,12 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             blocked = not self.prepared.is_free(info.reads, info.writes)
             blocked = blocked or any(
                 w.state == "waiting" and info.conflicts_with(w)
-                for w in self.waiting
+                for w in self._index.candidates(info)
             )
             if blocked:
                 self.stats["occ_aborts"] += 1
                 self.txns.pop(info.txn, None)
+                self._index.remove(info)
                 info.state = "done"
                 self._refuse(info, AbortReason.OCC_CONFLICT)
                 return
@@ -356,10 +425,15 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
     def _drain_waiting(self) -> None:
         """Prepare waiting high-priority transactions in timestamp order;
         a still-blocked earlier waiter's keys stay claimed so later
-        waiters cannot jump it."""
+        waiters cannot jump it.  The list is rebuilt in one pass —
+        preparing never re-enters this method (replication and read
+        delivery are asynchronous), so no copy is needed and released
+        entries cost O(1) instead of an O(n) ``remove`` each."""
         claimed: List[Tuple[List[str], List[str]]] = []
-        for info in list(self.waiting):
+        kept: List[NattoTxn] = []
+        for info in self.waiting:
             if info.state == "cond":
+                kept.append(info)
                 continue  # resolved via its condition, not via draining
             blockers = self.prepared.conflicting(info.reads, info.writes)
             blockers.discard(info.txn)
@@ -369,9 +443,12 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             )
             if blockers or blocked_by_earlier:
                 claimed.append((info.reads, info.writes))
+                kept.append(info)
                 continue
-            self.waiting.remove(info)
+            # Preparing here (not after the loop) keeps the released
+            # transaction's marks visible to later waiters in this pass.
             self._prepare(info)
+        self.waiting = kept
 
     # ------------------------------------------------------------------
     # Prepare paths
@@ -392,21 +469,16 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
 
     def _deliver_reads(self, info: NattoTxn) -> None:
         values = {key: self.store.read(key).value for key in info.reads}
-        body = {"ok": True, "values": values, "epoch": info.epoch}
         if not info.reply.done:
-            info.reply.set_result(body)
+            info.reply.set_result(ReadOkEpoch(values, info.epoch))
         else:
             self._network.send(
                 self,
                 info.client,
                 "txn_event",
-                {
-                    "txn": info.txn,
-                    "kind": "reads",
-                    "partition": self.partition_id(),
-                    "values": values,
-                    "epoch": info.epoch,
-                },
+                ReadsEvent(
+                    info.txn, self.partition_id(), values, info.epoch
+                ),
             )
 
     def _vote_yes(self, info: NattoTxn, conditional) -> None:
@@ -414,15 +486,15 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             self,
             info.coordinator,
             "vote",
-            {
-                "txn": info.txn,
-                "partition": self.partition_id(),
-                "vote": "yes",
-                "epoch": info.epoch,
-                "conditional": conditional,
-                "participants": info.participants,
-                "client": info.client,
-            },
+            NattoVoteYes(
+                info.txn,
+                self.partition_id(),
+                "yes",
+                info.epoch,
+                conditional,
+                info.participants,
+                info.client,
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -446,9 +518,10 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             return False
         # Also require no earlier waiting transaction in the way: the
         # conditional values would not match the normal path otherwise.
-        for other in self.waiting:
+        for other in self._index.candidates(info):
             if (
                 other is not info
+                and other.state in ("waiting", "cond")
                 and other.order < info.order
                 and info.conflicts_with(other)
             ):
@@ -519,9 +592,10 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         # An earlier *waiting* transaction will write before this one
         # prepares, so "base" values read now could be stale — the same
         # safety condition conditional prepare applies.
-        for other in self.waiting:
+        for other in self._index.candidates(info):
             if (
                 other is not info
+                and other.state in ("waiting", "cond")
                 and other.order < info.order
                 and info.conflicts_with(other)
             ):
@@ -539,13 +613,13 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 self,
                 blocker.coordinator,
                 "recsf_forward",
-                {
-                    "txn": blocker.txn,
-                    "reader": info.txn,
-                    "reader_client": info.client,
-                    "partition": self.partition_id(),
-                    "keys": sorted(overlap),
-                },
+                RecsfForward(
+                    blocker.txn,
+                    info.txn,
+                    info.client,
+                    self.partition_id(),
+                    sorted(overlap),
+                ),
             )
         if not forwarded_any:
             return
@@ -556,12 +630,9 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             self,
             info.client,
             "txn_event",
-            {
-                "txn": info.txn,
-                "kind": "recsf_base",
-                "partition": self.partition_id(),
-                "values": base_values,
-            },
+            PartitionValuesEvent(
+                info.txn, "recsf_base", self.partition_id(), base_values
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -598,6 +669,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self._rap_seen.discard(txn)
         info = self.txns.pop(txn, None)
         if info is not None:
+            self._index.remove(info)
             info.state = "done"
             self._finish_spans(info)
 
@@ -617,21 +689,23 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         self._rap_seen.discard(txn)
         if info is None:
             return
+        self._index.remove(info)
+        # The state says which list holds the transaction — no
+        # membership scan needed.
+        state = info.state
         info.state = "done"
         self._finish_spans(info)
-        if info in self.queue:
+        if state == "queued":
             self.queue.remove(info)
             self._schedule_dispatch()
-        if info in self.waiting:
+        elif state in ("waiting", "cond"):
             self.waiting.remove(info)
         for blocker in info.condition:
             waiters = self._conditions.get(blocker)
             if waiters is not None:
                 waiters.discard(txn)
         if not info.reply.done:
-            info.reply.set_result(
-                {"ok": False, "reason": reason_value(reason)}
-            )
+            info.reply.set_result(Refusal(reason_value(reason)))
 
     def _resolve_conditions(self, blocker_txn: str, committed: bool) -> None:
         waiters = self._conditions.pop(blocker_txn, set())
@@ -675,12 +749,12 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             self,
             info.coordinator,
             "condition_resolved",
-            {
-                "txn": info.txn,
-                "partition": self.partition_id(),
-                "ok": ok,
-                "epoch": info.epoch if ok else info.epoch - 1,
-            },
+            ConditionResolved(
+                info.txn,
+                self.partition_id(),
+                ok,
+                info.epoch if ok else info.epoch - 1,
+            ),
         )
 
     # ------------------------------------------------------------------

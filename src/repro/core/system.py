@@ -25,6 +25,11 @@ from repro.core.config import NattoConfig
 from repro.core.coordinator import NattoCoordinator
 from repro.core.server import NattoParticipant
 from repro.core.timestamps import TimestampAssigner
+from repro.net.payload import (
+    AbortRequest,
+    NattoCommitRequest,
+    NattoReadAndPrepare,
+)
 from repro.net.probing import ClientDelayView, ProbeProxy, ProxyDirectory
 from repro.sim import Future, any_of
 from repro.store.kv import KeyValueStore
@@ -168,24 +173,16 @@ class Natto(CarouselBasic):
                     client,
                     coordinator,
                     "abort_request",
-                    {
-                        "txn": aid,
-                        "client": client.name,
-                        "participants": participants,
-                    },
+                    AbortRequest(aid, client.name, participants),
                 )
                 return
             client.network.send(
                 client,
                 coordinator,
                 "commit_request",
-                {
-                    "txn": aid,
-                    "client": client.name,
-                    "participants": participants,
-                    "writes": writes,
-                    "epochs": epochs,
-                },
+                NattoCommitRequest(
+                    aid, client.name, participants, writes, epochs
+                ),
             )
 
         def merge_recsf(pid: int, values: Dict[str, str]) -> None:
@@ -207,23 +204,26 @@ class Natto(CarouselBasic):
 
         client.register_attempt(aid, on_event)
         try:
+            # Every participant receives the same body (full key sets);
+            # one payload object serves the whole fan-out.
+            request = NattoReadAndPrepare(
+                aid,
+                assignment.timestamp,
+                int(priority),
+                list(spec.read_keys),
+                list(spec.write_keys),
+                coordinator,
+                client.name,
+                participants,
+                assignment.arrival_estimates,
+                assignment.max_owd,
+            )
             for pid in participants:
                 future = client.network.call(
                     client,
                     self.leader_names[pid],
                     "read_and_prepare",
-                    {
-                        "txn": aid,
-                        "ts": assignment.timestamp,
-                        "priority": int(priority),
-                        "full_reads": list(spec.read_keys),
-                        "full_writes": list(spec.write_keys),
-                        "coordinator": coordinator,
-                        "client": client.name,
-                        "participants": participants,
-                        "arrival_estimates": assignment.arrival_estimates,
-                        "max_owd": assignment.max_owd,
-                    },
+                    request,
                 )
                 future.add_done_callback(
                     lambda f, pid=pid: (

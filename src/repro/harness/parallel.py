@@ -43,9 +43,23 @@ from repro.harness.experiment import (
 from repro.harness.systems import make_system
 
 
+def usable_cpus() -> int:
+    """Cores this process may actually run on (cgroup/affinity aware).
+
+    ``os.cpu_count()`` reports the machine; a container or ``taskset``
+    allowance can be far smaller, and oversubscribing it makes the
+    parallel path *slower* than serial (workers time-slice one core
+    while paying process startup).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
 def default_jobs() -> int:
-    """Worker-count default for ``--jobs``: every core the host has."""
-    return os.cpu_count() or 1
+    """Worker-count default for ``--jobs``: every usable core."""
+    return usable_cpus()
 
 
 @dataclass(frozen=True)
@@ -151,7 +165,14 @@ def run_points(
     """
     specs = list(specs)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    if jobs == 1 or len(specs) <= 1:
+    # Parallelism has to beat two fixed costs before it helps: each
+    # worker's startup (process spawn + imports) and the host's real
+    # concurrency.  Cap the pool at half the point count — a worker
+    # hired for a single point rarely amortizes its startup — and at
+    # the cores this process may actually use; ignoring either made
+    # the parallel smoke sweep ~10% slower than serial.
+    jobs = min(jobs, len(specs) // 2, usable_cpus())
+    if jobs <= 1 or len(specs) <= 1:
         results = []
         for index, spec in enumerate(specs):
             results.append(run_point(spec))

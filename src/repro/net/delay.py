@@ -22,6 +22,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.net.topology import Topology
+from repro.sim.randomness import BatchedStandardExponential, BatchedUniform
 
 
 class DelayModel(Protocol):
@@ -68,12 +69,17 @@ class UniformJitterDelay:
             raise ValueError("jitter must be non-negative")
         self._topology = topology
         self._rng = rng
+        # The delay stream is exclusive to this model, so uniforms can
+        # be pulled from blocks: uniform(0, h) is h * U[0, 1) exactly.
+        self._uniform = BatchedUniform(rng)
         self._jitter = jitter
 
     def sample(self, src_dc: str, dst_dc: str) -> float:
         base = self._topology.one_way(src_dc, dst_dc)
         scale = self._topology.jitter_multiplier(src_dc, dst_dc)
-        return base * (1.0 + self._rng.uniform(0.0, self._jitter * scale))
+        return base * (
+            1.0 + self._jitter * scale * self._uniform.random()
+        )
 
     def mean(self, src_dc: str, dst_dc: str) -> float:
         base = self._topology.one_way(src_dc, dst_dc)
@@ -110,6 +116,10 @@ class ParetoDelay:
     ) -> None:
         self._topology = topology
         self._rng = rng
+        # ``rng.pareto(a)`` is ``expm1(standard_exponential() / a)``, so
+        # one pre-filled standard-exponential block serves every pair's
+        # shape parameter with the unbatched draw sequence bit-for-bit.
+        self._exp = BatchedStandardExponential(rng)
         self.cv = cv
         self._alpha = pareto_shape_for_cv(cv) if cv > 0 else math.inf
 
@@ -123,7 +133,7 @@ class ParetoDelay:
             alpha = pareto_shape_for_cv(self.cv * scale_cv)
         x_m = base * (alpha - 1.0) / alpha
         # numpy's pareto() samples (X/x_m - 1); rescale back.
-        return x_m * (1.0 + float(self._rng.pareto(alpha)))
+        return x_m * (1.0 + math.expm1(self._exp.next() / alpha))
 
     def mean(self, src_dc: str, dst_dc: str) -> float:
         return self._topology.one_way(src_dc, dst_dc)

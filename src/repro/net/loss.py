@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.randomness import BatchedGeometric
+
 #: Linux's minimum TCP retransmission timeout.
 DEFAULT_RTO_SECONDS = 0.2
 
@@ -85,6 +87,14 @@ class LossModel:
     def __init__(self, config: LossConfig, rng: np.random.Generator) -> None:
         self._config = config
         self._rng = rng
+        # The success probability is fixed for the run, so attempt
+        # counts come from pre-filled geometric blocks (same sequence
+        # as per-message scalar draws).  The loss stream is exclusive.
+        self._attempts = (
+            BatchedGeometric(rng, 1.0 - config.loss_rate)
+            if config.loss_rate > 0.0
+            else None
+        )
 
     @property
     def config(self) -> LossConfig:
@@ -96,8 +106,6 @@ class LossModel:
         The number of transmissions is geometric(1 - p); each failed
         attempt costs one RTO.
         """
-        p = self._config.loss_rate
-        if p <= 0.0:
+        if self._attempts is None:
             return 0.0
-        attempts = int(self._rng.geometric(1.0 - p))
-        return (attempts - 1) * self._config.rto
+        return (self._attempts.next() - 1) * self._config.rto

@@ -109,8 +109,15 @@ class Message:
         self.msg_id = next(_message_ids) if msg_id is None else msg_id
         self.reply_to = reply_to
         #: Estimated bytes on the wire (header + payload); computed once
-        #: — the payload is never mutated after construction.
-        self.wire_size = HEADER_BYTES + estimate_size(payload)
+        #: — the payload is never mutated after construction.  Payload
+        #: classes (:mod:`repro.net.payload`) precompute their size and
+        #: are the common case, so their slot is read directly; plain
+        #: dicts (and anything else without the attribute) take the
+        #: estimate walk.
+        try:
+            self.wire_size = HEADER_BYTES + payload.wire_size
+        except AttributeError:
+            self.wire_size = HEADER_BYTES + estimate_size(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,7 @@ from repro.cluster.node import Node
 from repro.net.delay import ConstantDelay, DelayModel
 from repro.net.loss import LossConfig, LossModel
 from repro.net.message import Message
+from repro.net.payload import Reply
 from repro.net.topology import Topology
 from repro.sim import Future, Simulator
 
@@ -104,6 +105,9 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.delay_model = delay_model or ConstantDelay(topology)
+        # Bound once: the model never changes after construction and the
+        # two-step attribute chain is paid per message otherwise.
+        self._sample_delay = self.delay_model.sample
         self.config = config
         self._nodes: Dict[str, Node] = {}
         self._pipes: Dict[Tuple[str, str], _Pipe] = {}
@@ -194,7 +198,8 @@ class Network:
         self.set_drop_filter(None)
 
     def _dispatch(self, message: Message) -> None:
-        obs = self.sim.obs
+        sim = self.sim
+        obs = sim.obs
         if self._drop_filter is not None and self._drop_filter(
             message.src, message.dst
         ):
@@ -215,12 +220,11 @@ class Network:
         self.messages_sent += 1
         size = message.wire_size
         self.bytes_sent += size
-        sim = self.sim
         # Delivery delay, inlined: propagation + retransmission penalty
         # + (cross-DC only) bandwidth-pipe queueing.
         src_dc = src.datacenter
         dst_dc = dst.datacenter
-        delay = self.delay_model.sample(src_dc, dst_dc)
+        delay = self._sample_delay(src_dc, dst_dc)
         if self._loss is not None:
             delay += self._loss.retransmission_delay()
         if self._bandwidth_capped and src_dc != dst_dc:
@@ -306,7 +310,7 @@ class Network:
             reply_method = _REPLY_METHOD[method] = method + ".reply"
         reply = Message(
             method=reply_method,
-            payload={"result": result},
+            payload=Reply(result),
             src=dst.name,
             dst=request.src,
             reply_to=request.msg_id,

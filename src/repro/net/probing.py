@@ -25,6 +25,7 @@ from typing import Deque, Dict, Iterable, Optional, Tuple
 
 from repro.cluster.node import Node
 from repro.net.network import Network
+from repro.net.payload import Probe, ProbeReply
 from repro.sim import Simulator
 
 
@@ -46,8 +47,8 @@ class ProbeTargetMixin:
     skew-inclusive one-way delay sample.
     """
 
-    def handle_probe(self, payload: dict, src: str) -> dict:
-        return {"server_time": self.clock.now()}
+    def handle_probe(self, payload, src: str) -> ProbeReply:
+        return ProbeReply(self.clock.now())
 
 
 class ProbeProxy(Node):
@@ -93,11 +94,11 @@ class ProbeProxy(Node):
 
     def _probe(self, target: str) -> None:
         sent_clock = self.clock.now()
-        future = self._network.call(self, target, "probe", {"t": sent_clock})
+        future = self._network.call(self, target, "probe", Probe(sent_clock))
         future.add_done_callback(partial(self._record, target, sent_clock))
 
     def _record(self, target: str, sent_clock: float, reply_future) -> None:
-        sample = reply_future.value["server_time"] - sent_clock
+        sample = reply_future.value.server_time - sent_clock
         window = self._samples[target]
         now = self.sim._now
         window.append((now, sample))

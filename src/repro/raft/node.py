@@ -25,8 +25,17 @@ import numpy as np
 
 from repro.cluster.node import Node
 from repro.net.network import Network
+from repro.net.payload import (
+    AppendEntries,
+    AppendEntriesResponse,
+    RequestVote,
+    RequestVoteResponse,
+)
 from repro.raft.log import LogEntry, RaftLog
 from repro.sim import Future, Simulator, Timer
+
+#: Shared empty-entries sentinel for heartbeats (never mutated).
+_NO_ENTRIES: tuple = ()
 
 
 class Role(enum.Enum):
@@ -86,6 +95,14 @@ class RaftReplica(Node):
         self._sent_index: Dict[str, int] = {}
         self._votes: set = set()
         self._commit_futures: Dict[int, Future] = {}
+        # Idle-group fast path: heartbeats to every peer carry the same
+        # (term, prev_index, prev_term, [], leader_commit) tuple between
+        # log appends, and the matching success responses are likewise
+        # identical between term/match changes.  One cached payload
+        # object serves all of them — handlers never mutate payloads —
+        # so an idle group stops allocating and re-sizing per beat.
+        self._idle_append: Optional[AppendEntries] = None
+        self._append_response: Optional[AppendEntriesResponse] = None
 
         self._election_timer: Optional[Timer] = None
         self._heartbeat_timer: Optional[Timer] = None
@@ -185,43 +202,45 @@ class RaftReplica(Node):
                 self,
                 peer,
                 "request_vote",
-                {
-                    "term": self.current_term,
-                    "candidate": self.name,
-                    "last_log_index": self.log.last_index,
-                    "last_log_term": self.log.last_term,
-                },
+                RequestVote(
+                    self.current_term,
+                    self.name,
+                    self.log.last_index,
+                    self.log.last_term,
+                ),
             )
 
-    def handle_request_vote(self, payload: dict, src: str) -> None:
-        term = payload["term"]
+    def handle_request_vote(self, payload: RequestVote, src: str) -> None:
+        term = payload.term
         if term > self.current_term:
             self._step_down(term)
         granted = (
             term == self.current_term
-            and self.voted_for in (None, payload["candidate"])
+            and self.voted_for in (None, payload.candidate)
             and self.log.up_to_date(
-                payload["last_log_index"], payload["last_log_term"]
+                payload.last_log_index, payload.last_log_term
             )
         )
         if granted:
-            self.voted_for = payload["candidate"]
+            self.voted_for = payload.candidate
             self._reset_election_timer()
         self._network.send(
             self,
             src,
             "request_vote_response",
-            {"term": self.current_term, "granted": granted, "voter": self.name},
+            RequestVoteResponse(self.current_term, granted, self.name),
         )
 
-    def handle_request_vote_response(self, payload: dict, src: str) -> None:
-        if payload["term"] > self.current_term:
-            self._step_down(payload["term"])
+    def handle_request_vote_response(
+        self, payload: RequestVoteResponse, src: str
+    ) -> None:
+        if payload.term > self.current_term:
+            self._step_down(payload.term)
             return
-        if self.role is not Role.CANDIDATE or payload["term"] != self.current_term:
+        if self.role is not Role.CANDIDATE or payload.term != self.current_term:
             return
-        if payload["granted"]:
-            self._votes.add(payload["voter"])
+        if payload.granted:
+            self._votes.add(payload.voter)
             if len(self._votes) >= self.quorum:
                 self._ascend()
 
@@ -263,25 +282,49 @@ class RaftReplica(Node):
         # driven by failure responses resetting the send pointer.
         start = max(next_index, self._sent_index.get(peer, 0) + 1)
         prev_index = start - 1
-        entries = self.log.entries_from(start)
+        # Probe the tail length before slicing: idle heartbeats (the
+        # common case) would otherwise allocate an empty list per peer.
+        entries = (
+            self.log.entries_from(start)
+            if start <= self.log.last_index
+            else None
+        )
         if entries:
             self._sent_index[peer] = prev_index + len(entries)
-        self._network.send(
-            self,
-            peer,
-            "append_entries",
-            {
-                "term": self.current_term,
-                "leader": self.name,
-                "prev_index": prev_index,
-                "prev_term": self.log.term_at(prev_index),
-                "entries": [(e.term, e.payload) for e in entries],
-                "leader_commit": self.commit_index,
-            },
-        )
+            payload = AppendEntries(
+                self.current_term,
+                self.name,
+                prev_index,
+                self.log.term_at(prev_index),
+                [(e.term, e.payload) for e in entries],
+                self.commit_index,
+            )
+        else:
+            # Idle heartbeat: reuse the cached payload while nothing in
+            # (term, prev, commit) has moved.  In steady state every
+            # peer sees the same tuple, so one object serves them all.
+            prev_term = self.log.term_at(prev_index)
+            payload = self._idle_append
+            if (
+                payload is None
+                or payload.term != self.current_term
+                or payload.prev_index != prev_index
+                or payload.prev_term != prev_term
+                or payload.leader_commit != self.commit_index
+            ):
+                payload = AppendEntries(
+                    self.current_term,
+                    self.name,
+                    prev_index,
+                    prev_term,
+                    _NO_ENTRIES,
+                    self.commit_index,
+                )
+                self._idle_append = payload
+        self._network.send(self, peer, "append_entries", payload)
 
-    def handle_append_entries(self, payload: dict, src: str) -> None:
-        term = payload["term"]
+    def handle_append_entries(self, payload: AppendEntries, src: str) -> None:
+        term = payload.term
         if term > self.current_term:
             self._step_down(term)
         if term < self.current_term:
@@ -289,50 +332,57 @@ class RaftReplica(Node):
                 self,
                 src,
                 "append_entries_response",
-                {
-                    "term": self.current_term,
-                    "success": False,
-                    "follower": self.name,
-                    "match_index": 0,
-                },
+                AppendEntriesResponse(self.current_term, False, self.name, 0),
             )
             return
         # Valid leader for this term.
         if self.role is Role.CANDIDATE:
             self.role = Role.FOLLOWER
-        self.leader_hint = payload["leader"]
+        self.leader_hint = payload.leader
         self._reset_election_timer()
-        entries = [LogEntry(t, p) for t, p in payload["entries"]]
-        success = self.log.append_from_leader(
-            payload["prev_index"], payload["prev_term"], entries
-        )
-        match_index = payload["prev_index"] + len(entries) if success else 0
-        if success and payload["leader_commit"] > self.commit_index:
+        raw = payload.entries
+        if raw:
+            entries = [LogEntry(t, p) for t, p in raw]
+            success = self.log.append_from_leader(
+                payload.prev_index, payload.prev_term, entries
+            )
+            match_index = payload.prev_index + len(entries) if success else 0
+        else:
+            # Idle heartbeat: append_from_leader with no entries is just
+            # the consistency check — skip the list building.
+            success = self.log.matches(payload.prev_index, payload.prev_term)
+            match_index = payload.prev_index if success else 0
+        if success and payload.leader_commit > self.commit_index:
             self.commit_index = min(
-                payload["leader_commit"], self.log.last_index
+                payload.leader_commit, self.log.last_index
             )
             self._apply_committed()
-        self._network.send(
-            self,
-            src,
-            "append_entries_response",
-            {
-                "term": self.current_term,
-                "success": success,
-                "follower": self.name,
-                "match_index": match_index,
-            },
-        )
+        # Heartbeat responses between term/match changes are identical;
+        # reuse the cached one (mirrors the leader's idle-payload cache).
+        response = self._append_response
+        if (
+            response is None
+            or response.term != self.current_term
+            or response.success is not success
+            or response.match_index != match_index
+        ):
+            response = AppendEntriesResponse(
+                self.current_term, success, self.name, match_index
+            )
+            self._append_response = response
+        self._network.send(self, src, "append_entries_response", response)
 
-    def handle_append_entries_response(self, payload: dict, src: str) -> None:
-        if payload["term"] > self.current_term:
-            self._step_down(payload["term"])
+    def handle_append_entries_response(
+        self, payload: AppendEntriesResponse, src: str
+    ) -> None:
+        if payload.term > self.current_term:
+            self._step_down(payload.term)
             return
         if self.role is not Role.LEADER:
             return
-        peer = payload["follower"]
-        if payload["success"]:
-            match = payload["match_index"]
+        peer = payload.follower
+        if payload.success:
+            match = payload.match_index
             if match > self._match_index.get(peer, 0):
                 self._match_index[peer] = match
                 self._next_index[peer] = match + 1

@@ -21,9 +21,17 @@ Public surface:
 from repro.sim.future import Future, all_of, any_of
 from repro.sim.kernel import Simulator, SimulationError, Timer
 from repro.sim.process import Process
-from repro.sim.randomness import RandomStreams
+from repro.sim.randomness import (
+    BatchedGeometric,
+    BatchedStandardExponential,
+    BatchedUniform,
+    RandomStreams,
+)
 
 __all__ = [
+    "BatchedGeometric",
+    "BatchedStandardExponential",
+    "BatchedUniform",
     "Future",
     "Process",
     "RandomStreams",

@@ -21,6 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List
 
+from repro.net.payload import (
+    AbortRequest,
+    CarouselReadAndPrepare,
+    CommitRequest,
+)
 from repro.sim import Future, all_of
 from repro.store.kv import KeyValueStore
 from repro.systems.base import Cluster, TransactionSystem, attempt_id
@@ -136,14 +141,14 @@ class CarouselBasic(TransactionSystem):
                         client,
                         self.leader_names[pid],
                         "read_and_prepare",
-                        {
-                            "txn": aid,
-                            "reads": reads_by_pid.get(pid, []),
-                            "writes": writes_by_pid.get(pid, []),
-                            "coordinator": coordinator,
-                            "client": client.name,
-                            "participants": participants,
-                        },
+                        CarouselReadAndPrepare(
+                            aid,
+                            reads_by_pid.get(pid, []),
+                            writes_by_pid.get(pid, []),
+                            coordinator,
+                            client.name,
+                            participants,
+                        ),
                     )
                     for pid in participants
                 ]
@@ -165,11 +170,7 @@ class CarouselBasic(TransactionSystem):
                     client,
                     coordinator,
                     "abort_request",
-                    {
-                        "txn": aid,
-                        "client": client.name,
-                        "participants": participants,
-                    },
+                    AbortRequest(aid, client.name, participants),
                 )
                 yield decision
                 return True  # voluntary abort: the transaction completed
@@ -177,12 +178,7 @@ class CarouselBasic(TransactionSystem):
                 client,
                 coordinator,
                 "commit_request",
-                {
-                    "txn": aid,
-                    "client": client.name,
-                    "participants": participants,
-                    "writes": writes,
-                },
+                CommitRequest(aid, client.name, participants, writes),
             )
             committed = yield decision
             return bool(committed)

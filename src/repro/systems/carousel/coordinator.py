@@ -23,6 +23,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.cluster.partition import Partitioner
+from repro.net.payload import (
+    CommitTxn,
+    CommitTxnReason,
+    DecisionEvent,
+    DecisionEventReason,
+)
 from repro.net.probing import ProbeTargetMixin
 from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
@@ -150,33 +156,40 @@ class CarouselCoordinator(ProbeTargetMixin, RaftReplica):
                     txn=state.txn,
                     reason=reason_value(state.abort_reason),
                 )
+        reason = state.abort_reason
         if state.client is not None:
-            event = {
-                "txn": state.txn,
-                "kind": "decision",
-                "committed": committed,
-            }
-            if not committed and state.abort_reason is not None:
-                event["reason"] = state.abort_reason
+            if not committed and reason is not None:
+                event = DecisionEventReason(state.txn, committed, reason)
+            else:
+                event = DecisionEvent(state.txn, committed)
             self._network.send(self, state.client, "txn_event", event)
         writes = state.writes or {}
         by_partition = (
             self.partitioner.group_keys(writes) if self.partitioner else {}
         )
-        for pid in state.participants or []:
-            slice_writes = {
-                key: writes[key] for key in by_partition.get(pid, [])
-            }
-            outcome = {
-                "txn": state.txn,
-                "decision": committed,
-                "writes": slice_writes if committed else None,
-            }
-            if not committed and state.abort_reason is not None:
-                outcome["reason"] = state.abort_reason
-            self._network.send(
-                self, self.leader_names[pid], "commit_txn", outcome
+        if committed:
+            for pid in state.participants or []:
+                slice_writes = {
+                    key: writes[key] for key in by_partition.get(pid, [])
+                }
+                self._network.send(
+                    self,
+                    self.leader_names[pid],
+                    "commit_txn",
+                    CommitTxn(state.txn, True, slice_writes),
+                )
+        else:
+            # Abort outcomes are identical per participant: one payload
+            # object serves the whole fan-out.
+            outcome = (
+                CommitTxnReason(state.txn, False, None, reason)
+                if reason is not None
+                else CommitTxn(state.txn, False, None)
             )
+            for pid in state.participants or []:
+                self._network.send(
+                    self, self.leader_names[pid], "commit_txn", outcome
+                )
         self._on_decided(state)
 
     def _on_decided(self, state: CoordinatedTxn) -> None:

@@ -21,6 +21,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List
 
+from repro.net.payload import (
+    AbortRequest,
+    CarouselReadAndPrepare,
+    FastCommitRequest,
+    FastOutcome,
+    ReadOk,
+)
 from repro.obs.abort import AbortReason
 from repro.sim import Future, all_of
 from repro.systems.base import attempt_id
@@ -61,7 +68,7 @@ class FastParticipant(CarouselParticipant):
         self.prepares_ok += 1
         self.prepared.add(txn, reads, writes)
         values = {key: self.store.read(key).value for key in reads}
-        return {"ok": True, "values": values}
+        return ReadOk(values)
 
     def handle_fast_outcome(self, payload: dict, src: str) -> None:
         """Abort notification for follower-held prepared marks."""
@@ -96,16 +103,12 @@ class FastCoordinator(CarouselCoordinator):
         super()._decide(state, committed)
         if committed:
             return  # followers release when the writes entry applies
+        outcome = FastOutcome(state.txn, False)
         for pid in state.participants or []:
             leader = self.leader_names[pid]
             for replica in self.replica_names.get(pid, []):
                 if replica != leader:
-                    self._network.send(
-                        self,
-                        replica,
-                        "fast_outcome",
-                        {"txn": state.txn, "decision": False},
-                    )
+                    self._network.send(self, replica, "fast_outcome", outcome)
 
 
 class CarouselFast(CarouselBasic):
@@ -153,14 +156,14 @@ class CarouselFast(CarouselBasic):
             calls = []
             call_meta = []  # (partition, is_leader)
             for pid in participants:
-                body = {
-                    "txn": aid,
-                    "reads": reads_by_pid.get(pid, []),
-                    "writes": writes_by_pid.get(pid, []),
-                    "coordinator": coordinator,
-                    "client": client.name,
-                    "participants": participants,
-                }
+                body = CarouselReadAndPrepare(
+                    aid,
+                    reads_by_pid.get(pid, []),
+                    writes_by_pid.get(pid, []),
+                    coordinator,
+                    client.name,
+                    participants,
+                )
                 group = self.groups[pid]
                 for replica in group.replica_names:
                     is_leader = replica == group.leader_name
@@ -170,7 +173,7 @@ class CarouselFast(CarouselBasic):
                         else "read_and_prepare_replica"
                     )
                     calls.append(
-                        client.network.call(client, replica, method, dict(body))
+                        client.network.call(client, replica, method, body)
                     )
                     call_meta.append((pid, is_leader))
             replies = yield all_of(calls)
@@ -200,11 +203,7 @@ class CarouselFast(CarouselBasic):
                     client,
                     coordinator,
                     "abort_request",
-                    {
-                        "txn": aid,
-                        "client": client.name,
-                        "participants": participants,
-                    },
+                    AbortRequest(aid, client.name, participants),
                 )
                 yield decision
                 return True
@@ -212,13 +211,9 @@ class CarouselFast(CarouselBasic):
                 client,
                 coordinator,
                 "commit_request",
-                {
-                    "txn": aid,
-                    "client": client.name,
-                    "participants": participants,
-                    "writes": writes,
-                    "fast_path": unanimous,
-                },
+                FastCommitRequest(
+                    aid, client.name, participants, writes, unanimous
+                ),
             )
             committed = yield decision
             return bool(committed)

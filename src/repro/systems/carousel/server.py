@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.net.payload import ReadOk, Refusal, VoteReason
 from repro.net.probing import ProbeTargetMixin
 from repro.obs.abort import AbortReason, reason_value
 from repro.raft.node import RaftReplica
@@ -78,28 +79,28 @@ class CarouselParticipant(ProbeTargetMixin, RaftReplica):
         self.propose(("prepare", txn)).add_done_callback(
             lambda _: self._vote(payload, "yes")
         )
-        return {"ok": True, "values": values}
+        return ReadOk(values)
 
-    def _refusal(self, txn: str, reason) -> dict:
+    def _refusal(self, txn: str, reason) -> Refusal:
         """A classified ``ok: False`` reply (plus trace bookkeeping)."""
         obs = self.sim.obs
         if obs.enabled:
             obs.tracer.refuse(reason, node=self.name, txn=txn)
-        return {"ok": False, "reason": reason_value(reason)}
+        return Refusal(reason_value(reason))
 
-    def _vote(self, payload: dict, vote: str, reason=None) -> None:
+    def _vote(self, payload, vote: str, reason=None) -> None:
         self._network.send(
             self,
             payload["coordinator"],
             "vote",
-            {
-                "txn": payload["txn"],
-                "partition": self.group_partition_id(),
-                "vote": vote,
-                "participants": payload["participants"],
-                "client": payload["client"],
-                "reason": reason_value(reason) if reason is not None else None,
-            },
+            VoteReason(
+                payload["txn"],
+                self.group_partition_id(),
+                vote,
+                payload["participants"],
+                payload["client"],
+                reason_value(reason) if reason is not None else None,
+            ),
         )
 
     def group_partition_id(self) -> int:

@@ -70,13 +70,18 @@ class ClientDriver(Node):
         """Submit new transactions at ``rate_per_second`` until ``until``.
 
         Interarrival times are exponential (Poisson arrivals), drawn
-        from this client's own stream so clients are independent.
+        from this client's own stream so clients are independent.  The
+        stream is exclusive to this loop, so gaps are pulled from
+        pre-filled standard-exponential blocks — ``exponential(scale)``
+        is ``scale * standard_exponential()`` exactly.
         """
+        from repro.sim import BatchedStandardExponential
+
         rng = self.sim_rng()
         mean_gap = 1.0 / rate_per_second
         sim = self.sim
         post = sim.post
-        exponential = rng.exponential
+        next_gap = BatchedStandardExponential(rng).next
         next_transaction = workload.next_transaction
         submit = self.submit
         name = self.name
@@ -85,9 +90,9 @@ class ClientDriver(Node):
             if sim._now >= until:
                 return
             submit(next_transaction(name))
-            post(float(exponential(mean_gap)), _tick)
+            post(next_gap() * mean_gap, _tick)
 
-        post(float(exponential(mean_gap)), _tick)
+        post(next_gap() * mean_gap, _tick)
 
     def sim_rng(self):
         # Late import to avoid widening the constructor signature; each

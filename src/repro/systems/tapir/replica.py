@@ -14,6 +14,12 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.cluster.node import Node
+from repro.net.payload import (
+    TAPIR_ACK,
+    TAPIR_VOTE_OK,
+    TapirReadResult,
+    TapirVoteAbort,
+)
 from repro.obs.abort import AbortReason
 from repro.store.kv import KeyValueStore
 from repro.store.occ import PreparedSet
@@ -33,12 +39,12 @@ class TapirReplica(Node):
     # ------------------------------------------------------------------
     # Reads (unreplicated operation: any single replica serves them)
 
-    def handle_tapir_read(self, payload: dict, src: str) -> dict:
+    def handle_tapir_read(self, payload, src: str) -> TapirReadResult:
         values = {}
         for key in payload["keys"]:
             versioned = self.store.read(key)
             values[key] = (versioned.value, versioned.version)
-        return {"values": values}
+        return TapirReadResult(values)
 
     # ------------------------------------------------------------------
     # Prepare (consensus operation: client collects a quorum)
@@ -49,7 +55,7 @@ class TapirReplica(Node):
         reads = list(read_versions)
         writes = payload["write_keys"]
         if txn in self.prepared:
-            return {"vote": "ok"}  # duplicate (finalize raced the prepare)
+            return TAPIR_VOTE_OK  # duplicate (finalize raced the prepare)
         for key, version in read_versions.items():
             if self.store.version_of(key) != version:
                 self.prepare_abort_count += 1
@@ -59,13 +65,13 @@ class TapirReplica(Node):
             return self._abort_vote(txn, AbortReason.OCC_CONFLICT)
         self.prepared.add(txn, reads, writes)
         self.prepare_ok_count += 1
-        return {"vote": "ok"}
+        return TAPIR_VOTE_OK
 
-    def _abort_vote(self, txn: str, reason: AbortReason) -> dict:
+    def _abort_vote(self, txn: str, reason: AbortReason) -> TapirVoteAbort:
         obs = self.sim.obs
         if obs.enabled:
             obs.tracer.refuse(reason, node=self.name, txn=txn)
-        return {"vote": "abort", "reason": str(reason)}
+        return TapirVoteAbort(str(reason))
 
     def handle_tapir_finalize(self, payload: dict, src: str) -> dict:
         """Slow path: the client's majority decision is installed."""
@@ -81,7 +87,7 @@ class TapirReplica(Node):
                 )
         else:
             self.prepared.remove(txn)
-        return {"ack": True}
+        return TAPIR_ACK
 
     # ------------------------------------------------------------------
     # Outcome (inconsistent operations: asynchronous, no quorum wait)

@@ -21,6 +21,13 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List
 
+from repro.net.payload import (
+    TapirAbort,
+    TapirCommit,
+    TapirFinalize,
+    TapirPrepare,
+    TapirRead,
+)
 from repro.sim import all_of
 from repro.store.kv import KeyValueStore
 from repro.systems.base import Cluster, TransactionSystem, attempt_id
@@ -91,7 +98,7 @@ class Tapir(TransactionSystem):
             )
             read_calls.append(
                 client.network.call(
-                    client, replica, "tapir_read", {"keys": reads_by_pid[pid]}
+                    client, replica, "tapir_read", TapirRead(reads_by_pid[pid])
                 )
             )
         read_replies = yield all_of(read_calls)
@@ -110,18 +117,15 @@ class Tapir(TransactionSystem):
         prepare_calls = []
         call_pids = []
         for pid in participants:
-            body = {
-                "txn": aid,
-                "read_versions": {
-                    k: read_versions[k] for k in reads_by_pid.get(pid, [])
-                },
-                "write_keys": writes_by_pid.get(pid, []),
-            }
+            # One payload object serves every replica of the partition.
+            body = TapirPrepare(
+                aid,
+                {k: read_versions[k] for k in reads_by_pid.get(pid, [])},
+                writes_by_pid.get(pid, []),
+            )
             for replica in self.groups[pid].replica_names:
                 prepare_calls.append(
-                    client.network.call(
-                        client, replica, "tapir_prepare", dict(body)
-                    )
+                    client.network.call(client, replica, "tapir_prepare", body)
                 )
                 call_pids.append(pid)
         replies = yield all_of(prepare_calls)
@@ -151,18 +155,14 @@ class Tapir(TransactionSystem):
             # Slow path starts immediately; wait for majority acks.
             finalize_waits = []
             for pid in slow_path_pids:
-                body = {
-                    "txn": aid,
-                    "decision": "ok",
-                    "read_versions": {
-                        k: read_versions[k] for k in reads_by_pid.get(pid, [])
-                    },
-                    "write_keys": writes_by_pid.get(pid, []),
-                }
+                body = TapirFinalize(
+                    aid,
+                    "ok",
+                    {k: read_versions[k] for k in reads_by_pid.get(pid, [])},
+                    writes_by_pid.get(pid, []),
+                )
                 acks = [
-                    client.network.call(
-                        client, replica, "tapir_finalize", dict(body)
-                    )
+                    client.network.call(client, replica, "tapir_finalize", body)
                     for replica in self.groups[pid].replica_names
                 ]
                 finalize_waits.append(_majority(acks))
@@ -171,14 +171,18 @@ class Tapir(TransactionSystem):
         committed = all(d == "ok" for d in decisions.values())
         outcome_method = "tapir_commit" if committed else "tapir_abort"
         for pid in participants:
-            body = {"txn": aid}
             if committed:
-                body["writes"] = {
-                    key: writes[key] for key in writes_by_pid.get(pid, [])
-                    if key in writes
-                }
+                body = TapirCommit(
+                    aid,
+                    {
+                        key: writes[key] for key in writes_by_pid.get(pid, [])
+                        if key in writes
+                    },
+                )
+            else:
+                body = TapirAbort(aid)
             for replica in self.groups[pid].replica_names:
-                client.network.send(client, replica, outcome_method, dict(body))
+                client.network.send(client, replica, outcome_method, body)
         return committed
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Set
 
+from repro.net.payload import ReadOk, Refusal, Vote, VoteReason, WoundEvent
 from repro.net.probing import ProbeTargetMixin
 from repro.obs.abort import AbortReason
 from repro.raft.node import RaftReplica
@@ -93,7 +94,7 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
             span.finish()
         values = {key: self.store.read(key).value for key in meta["reads"]}
         if not meta["reply"].done:
-            meta["reply"].set_result({"ok": True, "values": values})
+            meta["reply"].set_result(ReadOk(values))
 
     # ------------------------------------------------------------------
     # Wounding
@@ -128,7 +129,7 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
                 self,
                 victim_meta["client"],
                 "txn_event",
-                {"txn": victim, "kind": "wound", "by": txn},
+                WoundEvent(victim, txn),
             )
 
     def handle_release_locks(self, payload: dict, src: str) -> None:
@@ -142,7 +143,7 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
                 span.finish()
             if not meta["reply"].done:
                 meta["reply"].set_result(
-                    {"ok": False, "reason": str(AbortReason.PREEMPTED)}
+                    Refusal(str(AbortReason.PREEMPTED))
                 )
         self._wounded.discard(txn)
         self.pending_writes.pop(txn, None)
@@ -166,14 +167,14 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
                 self,
                 payload["coordinator"],
                 "vote",
-                {
-                    "txn": txn,
-                    "partition": self.group_partition_id(),
-                    "vote": "no",
-                    "participants": payload["participants"],
-                    "client": payload["client"],
-                    "reason": str(AbortReason.PREEMPTED),
-                },
+                VoteReason(
+                    txn,
+                    self.group_partition_id(),
+                    "no",
+                    payload["participants"],
+                    payload["client"],
+                    str(AbortReason.PREEMPTED),
+                ),
             )
             return
         meta["prepared"] = True
@@ -182,13 +183,13 @@ class TwoPLParticipant(ProbeTargetMixin, RaftReplica):
                 self,
                 meta["coordinator"],
                 "vote",
-                {
-                    "txn": txn,
-                    "partition": self.group_partition_id(),
-                    "vote": "yes",
-                    "participants": meta["participants"],
-                    "client": meta["client"],
-                },
+                Vote(
+                    txn,
+                    self.group_partition_id(),
+                    "yes",
+                    meta["participants"],
+                    meta["client"],
+                ),
             )
         )
 

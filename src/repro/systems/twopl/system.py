@@ -16,6 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Generator
 
+from repro.net.payload import (
+    CommitRequest,
+    LockRead,
+    ReleaseLocks,
+    TwoPLPrepare,
+)
 from repro.obs.abort import AbortReason
 from repro.sim import Future, all_of, any_of
 from repro.store.kv import KeyValueStore
@@ -125,16 +131,16 @@ class TwoPL(TransactionSystem):
                         client,
                         self.leader_names[pid],
                         "lock_read",
-                        {
-                            "txn": aid,
-                            "reads": reads_by_pid.get(pid, []),
-                            "writes": writes_by_pid.get(pid, []),
-                            "ts": wound_ts,
-                            "priority": int(spec.priority),
-                            "client": client.name,
-                            "coordinator": coordinator,
-                            "participants": participants,
-                        },
+                        LockRead(
+                            aid,
+                            reads_by_pid.get(pid, []),
+                            writes_by_pid.get(pid, []),
+                            wound_ts,
+                            int(spec.priority),
+                            client.name,
+                            coordinator,
+                            participants,
+                        ),
                     )
                     for pid in participants
                 ]
@@ -166,31 +172,26 @@ class TwoPL(TransactionSystem):
                     client,
                     self.leader_names[pid],
                     "twopl_prepare",
-                    {
-                        "txn": aid,
-                        "writes": {
+                    TwoPLPrepare(
+                        aid,
+                        {
                             key: writes[key]
                             for key in writes_by_pid.get(pid, [])
                             if key in writes
                         },
-                        "coordinator": coordinator,
-                        "client": client.name,
-                        "participants": participants,
-                    },
+                        coordinator,
+                        client.name,
+                        participants,
+                    ),
                 )
+            # Participants replicate the write data with their prepare
+            # records; the coordinator replicates only its commit
+            # decision, so the commit request carries no writes.
             client.network.send(
                 client,
                 coordinator,
                 "commit_request",
-                {
-                    "txn": aid,
-                    "client": client.name,
-                    "participants": participants,
-                    # Participants replicate the write data with their
-                    # prepare records; the coordinator replicates only
-                    # its commit decision.
-                    "writes": {},
-                },
+                CommitRequest(aid, client.name, participants, {}),
             )
             committed = yield decision
             return bool(committed)
@@ -198,10 +199,8 @@ class TwoPL(TransactionSystem):
             client.unregister_attempt(aid)
 
     def _release_everywhere(self, client, aid: str, participants) -> None:
+        request = ReleaseLocks(aid)
         for pid in participants:
             client.network.send(
-                client,
-                self.leader_names[pid],
-                "release_locks",
-                {"txn": aid},
+                client, self.leader_names[pid], "release_locks", request
             )

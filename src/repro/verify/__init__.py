@@ -13,6 +13,10 @@ Used heavily by ``tests/verify`` against all six systems under forced
 contention, including Natto's ECSF/CP fast paths.
 """
 
+from repro.verify.fingerprint import (
+    fingerprint_records,
+    fingerprint_result,
+)
 from repro.verify.history import (
     ExecutionTrace,
     SerializabilityChecker,
@@ -24,5 +28,7 @@ __all__ = [
     "ExecutionTrace",
     "SerializabilityChecker",
     "SerializationViolation",
+    "fingerprint_records",
+    "fingerprint_result",
     "tagged_rmw_spec",
 ]

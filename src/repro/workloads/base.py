@@ -64,6 +64,13 @@ class Workload(abc.ABC):
         priority assignment: exactly those transaction types run at high
         priority (the Figure 10 setup, where only sendPayment is high)."""
         self._rng = rng
+        # Where priority coin flips come from.  Workloads whose stream
+        # carries nothing but uniform draws (YCSB+T's Zipfian path) may
+        # replace this with a shared block-filled sampler; the default
+        # draws straight from the generator because mixed-distribution
+        # streams (Retwis, SmallBank) cannot be batched per shape
+        # without reordering the stream.
+        self._uniform = rng
         self.high_priority_fraction = high_priority_fraction
         self.high_priority_types = high_priority_types
         self._counters: Dict[str, int] = {}
@@ -80,7 +87,7 @@ class Workload(abc.ABC):
                 if txn_type in self.high_priority_types
                 else Priority.LOW
             )
-        if float(self._rng.random()) < self.high_priority_fraction:
+        if float(self._uniform.random()) < self.high_priority_fraction:
             return Priority.HIGH
         return Priority.LOW
 

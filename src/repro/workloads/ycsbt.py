@@ -10,6 +10,7 @@ from typing import Optional, Set
 
 import numpy as np
 
+from repro.sim.randomness import BatchedUniform
 from repro.workloads.base import KeyChooser, Workload, bump_value
 from repro.workloads.zipf import ZipfianKeys
 
@@ -31,7 +32,15 @@ class YcsbTWorkload(Workload):
     ) -> None:
         super().__init__(rng, high_priority_fraction, high_priority_types)
         self.ops_per_txn = ops_per_txn
-        self.keys = key_chooser or ZipfianKeys(num_keys, zipf_theta, rng)
+        if key_chooser is None:
+            # The Zipfian path draws nothing but uniforms from this
+            # stream (key ranks here, priority flips in the base
+            # class), so both consumers share one block-filled sampler:
+            # same draw sequence, no per-draw numpy dispatch.
+            self._uniform = BatchedUniform(rng)
+            self.keys = ZipfianKeys(num_keys, zipf_theta, self._uniform)
+        else:
+            self.keys = key_chooser
 
     def next_transaction(self, client_name: str):
         keys = tuple(self.keys.sample_distinct(self.ops_per_txn))

@@ -46,7 +46,13 @@ def fnv_hash(value: int) -> int:
 
 
 class ZipfianGenerator:
-    """Samples ranks in [0, n) with P(rank=i) proportional to 1/(i+1)^theta."""
+    """Samples ranks in [0, n) with P(rank=i) proportional to 1/(i+1)^theta.
+
+    ``rng`` is anything with a scalar ``random()`` method: a
+    ``numpy.random.Generator``, or a
+    :class:`repro.sim.randomness.BatchedUniform` when the owning
+    workload batches its (uniform-only) stream.
+    """
 
     def __init__(self, n: int, theta: float, rng: np.random.Generator) -> None:
         if not 0 < theta < 1:
