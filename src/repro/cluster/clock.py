@@ -60,18 +60,23 @@ class Clock:
             self._rng.uniform(-config.max_offset, config.max_offset)
         )
         self._drift = config.drift_ppm * 1e-6
+        #: Additive fault-injected skew (seconds), layered on top of the
+        #: NTP-disciplined offset so a sync step during a skew spike
+        #: neither hides nor doubles the fault — the injector sets and
+        #: clears this term symmetrically.
+        self.fault_skew = 0.0
         if config.sync_interval > 0:
             sim.schedule(config.sync_interval, self._sync_step)
 
     @property
     def offset(self) -> float:
         """Current total offset relative to true simulated time."""
-        return self._offset + self._drift * self._sim._now
+        return self._offset + self._drift * self._sim._now + self.fault_skew
 
     def now(self) -> float:
         """This node's current clock reading (seconds)."""
         sim_now = self._sim._now
-        return sim_now + self._offset + self._drift * sim_now
+        return sim_now + self._offset + self._drift * sim_now + self.fault_skew
 
     def until(self, clock_time: float) -> float:
         """Simulated-time delay until this clock reads ``clock_time``.

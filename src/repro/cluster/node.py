@@ -53,6 +53,18 @@ class ServiceModel:
         self._busy_until = start + cost
         return start + cost - now
 
+    def stall_until(self, when: float) -> None:
+        """Freeze this CPU until ``when`` (fault injection).
+
+        Everything already queued, plus every message arriving before
+        ``when``, is serviced after the stall in FIFO order — the model
+        of a GC pause, a VM freeze, or the non-durable crash+recovery
+        the fault injector provides (state survives, time is lost).
+        Idempotent against shorter stalls: the cursor only moves forward.
+        """
+        if when > self._busy_until:
+            self._busy_until = when
+
     @property
     def busy_until(self) -> float:
         return self._busy_until

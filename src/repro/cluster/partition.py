@@ -36,3 +36,31 @@ class Partitioner:
             for key in keys:
                 touched.add(self.partition_of(key))
         return touched
+
+    def representative_keys(
+        self, count: int, prefix: str = "key", spread: bool = True
+    ) -> List[str]:
+        """``count`` deterministic keys, optionally spanning partitions.
+
+        With ``spread`` the first ``min(count, num_partitions)`` keys
+        land on pairwise-distinct partitions, so a workload built on
+        them is guaranteed to exercise multi-partition 2PC — the fuzz
+        harness uses this to make every fault schedule contend across
+        shards.  crc32 is stable, so the keys (and their owners) are
+        identical in every process.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        keys: List[str] = []
+        seen_partitions: Set[int] = set()
+        candidate = 0
+        while len(keys) < count:
+            key = f"{prefix}-{candidate}"
+            candidate += 1
+            if spread and len(seen_partitions) < self.num_partitions:
+                pid = self.partition_of(key)
+                if pid in seen_partitions:
+                    continue
+                seen_partitions.add(pid)
+            keys.append(key)
+        return keys

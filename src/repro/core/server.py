@@ -324,7 +324,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         if victims:
             victims.sort(key=_queue_order)
             for queued in victims:
-                self._priority_abort(queued)
+                self._priority_abort(queued, by=info)
         # Yield to strictly-higher-priority conflicts ordered after us
         # that are still queued or waiting (prepared ones do not wound).
         for other in candidates:
@@ -336,6 +336,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
                 and not self._completes_in_time(info, other)
             ):
                 self.stats["priority_aborts"] += 1
+                self._trace_priority_abort(info, other)
                 self._refuse(info, AbortReason.PREEMPTED)
                 return True
         return False
@@ -348,7 +349,7 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
             return False
         return high.ts > low.estimated_completion_time()
 
-    def _priority_abort(self, low: NattoTxn) -> None:
+    def _priority_abort(self, low: NattoTxn, by: NattoTxn = None) -> None:
         self.stats["priority_aborts"] += 1
         self.queue.remove(low)
         self.txns.pop(low.txn, None)
@@ -357,7 +358,27 @@ class NattoParticipant(ProbeTargetMixin, RaftReplica):
         if low.queue_span is not None:
             low.queue_span.set(outcome="preempted")
             low.queue_span.finish()
+        if by is not None:
+            self._trace_priority_abort(low, by)
         self._refuse(low, AbortReason.PREEMPTED)
+
+    def _trace_priority_abort(self, victim: NattoTxn, winner: NattoTxn) -> None:
+        """Record who wounded whom (and at which priorities).
+
+        The priority-ordering invariant checker consumes these events:
+        a priority abort whose winner does not outrank its victim is a
+        protocol bug, not a tuning artifact.
+        """
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.event(
+                "priority_abort",
+                node=self.name,
+                txn=victim.txn,
+                by=winner.txn,
+                victim_priority=int(victim.priority),
+                winner_priority=int(winner.priority),
+            )
 
     # ------------------------------------------------------------------
     # Queue and dispatch

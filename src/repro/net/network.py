@@ -124,6 +124,11 @@ class Network:
         # Fault injection: a predicate (src_name, dst_name) -> bool;
         # True drops the message.  Used to partition nodes in tests.
         self._drop_filter = None
+        # Declarative fault schedules (repro.faults): when attached, the
+        # injector's network-fault state is consulted per message while
+        # at least one fault window is open.  None outside fault runs,
+        # so the hot path pays one attribute load and an is-None test.
+        self._faults = None
         self.messages_dropped = 0
         self._loss = None
         if config.loss.loss_rate > 0.0:
@@ -197,6 +202,17 @@ class Network:
     def heal(self) -> None:
         self.set_drop_filter(None)
 
+    def set_faults(self, faults) -> None:
+        """Attach (or detach with ``None``) a declarative fault state.
+
+        ``faults`` is the network-fault view of a
+        :class:`repro.faults.FaultInjector`; while ``faults.active`` is
+        True, ``faults.route(src, dst, src_dc, dst_dc, delay)`` is
+        consulted per message and may drop it (return ``None``), inflate
+        its delay, or floor its arrival time (partition/crash hold).
+        """
+        self._faults = faults
+
     def _dispatch(self, message: Message) -> None:
         sim = self.sim
         obs = sim.obs
@@ -232,9 +248,32 @@ class Network:
             if pipe is None:
                 pipe = self._pipe(src_dc, dst_dc)
             delay += pipe.transmit(sim._now, size)
+        faults = self._faults
+        if faults is not None and faults.active:
+            routed = faults.route(
+                message.src, message.dst, src_dc, dst_dc, delay
+            )
+            if routed is None:
+                # Blackhole: the only fault that vaporizes a packet.
+                self.messages_dropped += 1
+                if obs.enabled:
+                    obs.metrics.counter("net.messages_dropped").inc()
+                    obs.tracer.event(
+                        "drop",
+                        node=message.src,
+                        txn=_txn_tag(message),
+                        method=message.method,
+                        dst=message.dst,
+                    )
+                return
+            delay, fault_floor = routed
+        else:
+            fault_floor = 0.0
         pair = (message.src, message.dst)
         last = self._last_arrival
         arrival = sim._now + delay
+        if fault_floor > arrival:
+            arrival = fault_floor
         floor = last.get(pair)
         if floor is not None and floor > arrival:
             arrival = floor

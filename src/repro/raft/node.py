@@ -106,6 +106,10 @@ class RaftReplica(Node):
 
         self._election_timer: Optional[Timer] = None
         self._heartbeat_timer: Optional[Timer] = None
+        #: Fault injection: while True the leader emits no heartbeats
+        #: (and schedules none), modelling a frozen process whose
+        #: timers cannot fire.  See :meth:`pause_heartbeats`.
+        self.heartbeats_paused = False
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -170,6 +174,27 @@ class RaftReplica(Node):
             for peer in self.peers:
                 self._send_entries(peer)
         return future
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def pause_heartbeats(self) -> None:
+        """Stop the heartbeat series (leader pause fault).  The replica
+        keeps its role and log; a paused leader simply goes silent, so
+        followers with elections enabled will depose it."""
+        self.heartbeats_paused = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    def resume_heartbeats(self) -> None:
+        """Undo :meth:`pause_heartbeats`; a still-leader resumes beating
+        immediately."""
+        if not self.heartbeats_paused:
+            return
+        self.heartbeats_paused = False
+        if self.role is Role.LEADER:
+            self._broadcast_heartbeat()
 
     # ------------------------------------------------------------------
     # Elections
@@ -268,7 +293,7 @@ class RaftReplica(Node):
     # Replication
 
     def _broadcast_heartbeat(self) -> None:
-        if self.role is not Role.LEADER:
+        if self.role is not Role.LEADER or self.heartbeats_paused:
             return
         for peer in self.peers:
             self._send_entries(peer)

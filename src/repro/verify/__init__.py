@@ -23,12 +23,32 @@ from repro.verify.history import (
     SerializationViolation,
     tagged_rmw_spec,
 )
+from repro.verify.invariants import (
+    InvariantReport,
+    Violation,
+    check_all,
+    check_atomicity,
+    check_monotonicity,
+    check_priority,
+    check_raft,
+    check_replica_consistency,
+    partition_stores,
+)
 
 __all__ = [
     "ExecutionTrace",
+    "InvariantReport",
     "SerializabilityChecker",
     "SerializationViolation",
+    "Violation",
+    "check_all",
+    "check_atomicity",
+    "check_monotonicity",
+    "check_priority",
+    "check_raft",
+    "check_replica_consistency",
     "fingerprint_records",
     "fingerprint_result",
+    "partition_stores",
     "tagged_rmw_spec",
 ]

@@ -78,3 +78,13 @@ def test_two_clocks_disagree_but_relative_skew_is_stable():
     sim.schedule(10.0, sim.stop)
     sim.run()
     assert abs((a.now() - b.now()) - skew_at_0) < 1e-12
+
+
+def test_fault_skew_shifts_readings_additively():
+    sim = Simulator()
+    clock = Clock(sim, ClockConfig(max_offset=0.0))
+    baseline = clock.now()
+    clock.fault_skew += 0.5
+    assert abs(clock.now() - (baseline + 0.5)) < 1e-12
+    clock.fault_skew -= 0.5
+    assert clock.now() == baseline  # exact: zero skew restores bit-identity

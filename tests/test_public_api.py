@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.harness",
     "repro.verify",
+    "repro.faults",
     "repro.experiments",
 ]
 

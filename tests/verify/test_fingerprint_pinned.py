@@ -1,0 +1,57 @@
+"""Pinned determinism fingerprints (tier-1 promotion of repro.verify.fingerprint).
+
+Replicates the ``benchmarks/perf/bench_profile.py`` fingerprint recipe
+and checks the digests against the pinned ``FINGERPRINTS.json``.  Any
+change to simulation arithmetic, RNG consumption order, or protocol
+logic shows up here as a digest mismatch; deliberate changes must
+re-record via ``python benchmarks/perf/bench_profile.py
+--record-fingerprints``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.parallel import PointSpec, WorkloadSpec, run_point
+from repro.verify.fingerprint import fingerprint_result
+from repro.workloads import YcsbTWorkload
+
+FINGERPRINTS_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "perf" / "FINGERPRINTS.json"
+)
+
+# Must mirror benchmarks/perf/bench_profile.py exactly — the pinned
+# digests are only meaningful under the identical recipe.
+FINGERPRINT_SYSTEMS = ("2PL+2PC", "TAPIR", "Carousel Basic", "Natto-RECSF")
+FINGERPRINT_RATE = 80
+FINGERPRINT_KEYS = 600
+FINGERPRINT_SCALE = Scale("fp", duration=2.0, trim=0.5, repeats=1, drain=4.0)
+
+EXPECTED = json.loads(FINGERPRINTS_PATH.read_text())
+
+
+def test_all_four_families_are_pinned():
+    assert set(EXPECTED) == set(FINGERPRINT_SYSTEMS)
+
+
+@pytest.mark.parametrize("system", FINGERPRINT_SYSTEMS)
+def test_fingerprint_matches_pinned(system):
+    settings = FINGERPRINT_SCALE.apply(ExperimentSettings()).scaled(seed=0)
+    spec = PointSpec(
+        system=system,
+        x=FINGERPRINT_RATE,
+        input_rate=float(FINGERPRINT_RATE),
+        workload=WorkloadSpec.of(YcsbTWorkload, num_keys=FINGERPRINT_KEYS),
+        settings=settings,
+        repeats=FINGERPRINT_SCALE.repeats,
+    )
+    digest = fingerprint_result(run_point(spec).results[0])
+    assert digest == EXPECTED[system], (
+        f"determinism fingerprint changed for {system}; if intentional, "
+        "re-record with benchmarks/perf/bench_profile.py "
+        "--record-fingerprints"
+    )

@@ -97,3 +97,60 @@ def test_contended_history_is_serializable(system_name):
     )
     graph = checker.check()
     assert graph.number_of_nodes() == len(committed)
+
+
+# ----------------------------------------------------------------------
+# Canned fault schedules: the same contended burst, but with the network
+# or servers misbehaving mid-flight.  Every family must stay
+# serializable AND satisfy the protocol invariants (2PC atomicity, Raft
+# safety, replica consistency, priority sanity, session monotonicity).
+
+
+def _crash_target(system_name):
+    """A deterministic non-leader replica for this family's deployment."""
+    from repro.net.topology import azure_topology
+    from repro.systems.base import Cluster, SystemConfig
+    from repro.verify.fuzz import _fault_targets
+
+    probe = make_system(system_name)
+    probe.setup(Cluster(azure_topology(), SystemConfig(), seed=0))
+    followers, _leaders, replicas = _fault_targets(probe)
+    return followers[0] if followers else replicas[0]
+
+
+def _canned_schedules(system_name):
+    from repro.faults import (
+        FaultSchedule,
+        loss_burst,
+        region_partition,
+        server_crash,
+    )
+
+    return {
+        "loss-burst": FaultSchedule(
+            (loss_burst(3.0, 4.0, loss_rate=0.2, rto=0.05),)
+        ),
+        "partition-heal": FaultSchedule(
+            (region_partition(3.0, 2.5, ["VA", "WA"], ["PR", "NSW", "SG"]),)
+        ),
+        "crash-recover": FaultSchedule(
+            (server_crash(3.0, 2.5, _crash_target(system_name)),)
+        ),
+    }
+
+
+@pytest.mark.parametrize("fault_name", ["loss-burst", "partition-heal",
+                                        "crash-recover"])
+@pytest.mark.parametrize(
+    "system_name", ["2PL+2PC", "TAPIR", "Carousel Basic", "Natto-RECSF"]
+)
+def test_faulted_history_is_serializable_and_invariant(system_name,
+                                                       fault_name):
+    from repro.verify.fuzz import ScenarioSpec, run_scenario
+
+    schedule = _canned_schedules(system_name)[fault_name]
+    outcome = run_scenario(
+        ScenarioSpec(system=system_name, seed=0, schedule=schedule)
+    )
+    assert outcome.ok, outcome.report.summary()
+    assert outcome.committed == outcome.submitted
